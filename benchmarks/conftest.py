@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benches all consume one four-protocol comparison run at the
+paper's §5.1 configuration; it is computed once per session.  Scale is
+tunable through environment variables so CI can run a cheap pass:
+
+- ``REPRO_BENCH_QUERIES``  — query horizon per protocol (default 1500);
+- ``REPRO_BENCH_ABLATION_QUERIES`` — per-run horizon for ablation
+  sweeps (default 400);
+- ``REPRO_BENCH_SEED``     — master seed (default: the paper-date seed).
+
+Output: every bench prints the regenerated figure/table through
+``capsys.disabled()`` so the series appear on the terminal (and in
+``bench_output.txt``) even under pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    BENCH_BUCKET_WIDTH,
+    BENCH_MAX_QUERIES,
+    bench_config,
+    run_comparison,
+)
+
+
+def bench_queries() -> int:
+    """Figure-bench query horizon (env-tunable)."""
+    return int(os.environ.get("REPRO_BENCH_QUERIES", BENCH_MAX_QUERIES))
+
+
+def ablation_queries() -> int:
+    """Ablation-bench query horizon (env-tunable)."""
+    return int(os.environ.get("REPRO_BENCH_ABLATION_QUERIES", 400))
+
+
+def bench_seed() -> int:
+    """Master seed for every bench (env-tunable)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 20090322))
+
+
+@pytest.fixture(scope="session")
+def figure_comparison():
+    """The shared §5.1 four-protocol comparison behind Figures 2-4."""
+    return run_comparison(
+        bench_config(seed=bench_seed()),
+        max_queries=bench_queries(),
+        bucket_width=BENCH_BUCKET_WIDTH,
+    )
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print straight to the terminal, bypassing pytest capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _show

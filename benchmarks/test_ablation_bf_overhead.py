@@ -1,0 +1,33 @@
+"""Ablation A6 — Bloom update overhead (§4.2 footnote 1).
+
+"The number of changed bits in a 1200-bit vector of the BF is limited
+by 12 at most and the location of each bit by 11 bits.  Thus, the
+information to be sent is limited by I = 12 * 11 bits = 0.132 Kb."
+
+This bench measures the realised update sizes in a full Locaware run
+and checks the paper's arithmetic holds in practice.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import measure_bloom_overhead
+
+
+def test_ablation_bf_overhead(benchmark, show):
+    result = benchmark.pedantic(
+        measure_bloom_overhead,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    rows = dict(zip(result.column("quantity"), result.column("value")))
+    assert rows["bloom update pushes"] > 0, "the run must exercise BF updates"
+    # Realised mean update stays within the paper's per-update bound —
+    # deltas batch several cache changes per period, so individual
+    # pushes can exceed one filename's worth, but the mean must be
+    # within the same order (the paper's point: negligible bandwidth).
+    assert rows["mean update size (bits)"] <= 4 * 132
+    # Maintenance traffic stays a small fraction of search traffic.
+    assert rows["bloom/search message ratio"] < 1.0

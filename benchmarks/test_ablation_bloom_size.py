@@ -1,0 +1,30 @@
+"""Ablation A2 — Bloom filter size (§5.1's 1200-bit sizing argument).
+
+Undersized filters saturate: almost every membership test passes, so
+BF routing degenerates into broadcast towards useless neighbors (more
+traffic without better results).  The paper's 1200 bits keeps the
+false-positive rate at a few percent for a full 50-filename index.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_bloom_size
+
+
+def test_ablation_bloom_size(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_bloom_size,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    fprs = result.column("est_fpr")
+    assert fprs == sorted(fprs, reverse=True), "FPR must fall as bits grow"
+    bits = result.column("bits")
+    msgs = dict(zip(bits, result.column("msgs/query")))
+    # A saturated 150-bit filter must cost at least as much traffic as
+    # the paper's 1200-bit filter.
+    assert msgs[150] >= msgs[1200] * 0.95
+    assert all(rate > 0 for rate in result.column("success"))

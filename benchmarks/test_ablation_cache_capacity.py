@@ -1,0 +1,27 @@
+"""Ablation A3 — response-index capacity (§4.1.2 storage control).
+
+Small caches put the index under pressure — the regime where
+Dicas-Keys' duplicated entries (same index cached under several
+keyword groups) crowd out distinct filenames.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_cache_capacity
+
+
+def test_ablation_cache_capacity(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_cache_capacity,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    capacities = result.column("capacity")
+    locaware = dict(zip(capacities, result.column("locaware success")))
+    # More cache must not hurt: the paper's 50-filename budget should be
+    # at least as good as a 2-filename budget.
+    assert locaware[50] >= locaware[2] * 0.9
+    assert all(rate >= 0 for rate in result.column("dicas success"))

@@ -1,0 +1,28 @@
+"""Ablation A5 — churn and index staleness (§3.1, §4.1.2).
+
+With churn on, cached provider pointers go stale; success degrades for
+every index-caching protocol, and the paper's recency-based
+multi-provider design is the mitigation.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_churn
+
+
+def test_ablation_churn(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_churn,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    sessions = result.column("mean_session_s")
+    dicas = dict(zip(sessions, result.column("dicas success")))
+    locaware = dict(zip(sessions, result.column("locaware success")))
+    # Heavy churn (shortest sessions) must not beat the churn-free run.
+    heaviest = sessions[-1]
+    assert dicas[heaviest] <= dicas["off"] + 0.02
+    assert locaware[heaviest] <= locaware["off"] + 0.02

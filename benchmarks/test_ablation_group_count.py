@@ -1,0 +1,27 @@
+"""Ablation A7 — the group modulus M (§3.2).
+
+Small M: many peers share each group, so Gid routing finds matching
+neighbors everywhere (broad propagation, higher traffic).  Large M:
+indexes concentrate on few peers and routing dead-ends into fallback.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_group_count
+
+
+def test_ablation_group_count(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_group_count,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    ms = result.column("M")
+    dicas_msgs = dict(zip(ms, result.column("dicas msgs")))
+    # Broad groups (M=2) must generate at least as much traffic as
+    # narrow groups (M=16): more matching neighbors per hop.
+    assert dicas_msgs[2] >= dicas_msgs[16]
+    assert all(rate > 0 for rate in result.column("locaware success"))

@@ -1,0 +1,26 @@
+"""Ablation A1 — landmark count (§5.1's 4-vs-5-landmark discussion).
+
+More landmarks mean finer localities (k! locIds): with 1000 peers, 5
+landmarks scatter peers so thin that same-locId providers become rare,
+which is exactly why the paper picks 4.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_landmarks
+
+
+def test_ablation_landmarks(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_landmarks,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    peers_per_locid = result.column("peers/locId")
+    assert peers_per_locid == sorted(peers_per_locid, reverse=True), (
+        "locality population must shrink as landmarks are added"
+    )
+    assert all(rate > 0 for rate in result.column("success"))

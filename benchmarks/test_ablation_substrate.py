@@ -1,0 +1,33 @@
+"""Ablation A8 — substrate sensitivity (the DESIGN.md substitution audit).
+
+The reproduction swaps BRITE for a metric-space latency model; this
+bench re-runs the headline protocols under the Waxman router-level
+model and uniform placement to verify the paper's shape does not hinge
+on the substitution.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_substrate
+
+
+def test_ablation_substrate(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_substrate,
+        kwargs={"max_queries": max(200, ablation_queries() // 2)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    substrates = result.column("substrate")
+    flood_dist = dict(zip(substrates, result.column("flooding dist_ms")))
+    loc_dist = dict(zip(substrates, result.column("locaware dist_ms")))
+    flood_msgs = dict(zip(substrates, result.column("flooding msgs")))
+    loc_msgs = dict(zip(substrates, result.column("locaware msgs")))
+    for substrate in substrates:
+        # The paper's two headline shapes must hold on every substrate:
+        # Locaware downloads closer...
+        assert loc_dist[substrate] < flood_dist[substrate], substrate
+        # ...at a small fraction of flooding's traffic.
+        assert loc_msgs[substrate] < flood_msgs[substrate] / 5, substrate

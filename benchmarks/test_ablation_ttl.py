@@ -1,0 +1,30 @@
+"""Ablation A4 — the TTL bound (§5.1: TTL = 7).
+
+TTL trades scope for traffic: flooding's message count grows steeply
+with TTL while restricted (Locaware) routing grows gently.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_ttl
+
+
+def test_ablation_ttl(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_ttl,
+        kwargs={"max_queries": max(150, ablation_queries() // 2)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    flood_msgs = result.column("flooding msgs")
+    assert flood_msgs == sorted(flood_msgs), "flooding traffic must grow with TTL"
+    loc_msgs = result.column("locaware msgs")
+    # Restricted routing stays orders of magnitude below flooding at
+    # the paper's TTL (last row = largest TTL).
+    assert loc_msgs[-1] < flood_msgs[-1] / 5
+    flood_success = result.column("flooding success")
+    assert flood_success[-1] >= flood_success[0], (
+        "larger scope must not reduce flooding success"
+    )

@@ -1,0 +1,30 @@
+"""Extension bench — §6 future work: location-aware query routing.
+
+"One way is to investigate location-aware query routing in
+unstructured systems, which has not been fully exploited yet."
+
+The extension biases equally eligible next hops towards neighbors
+physically close to the requestor, on top of stock Locaware.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_locaware_routing
+
+
+def test_ext_locaware_routing(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_locaware_routing,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    variants = result.column("variant")
+    success = dict(zip(variants, result.column("success")))
+    distance = dict(zip(variants, result.column("distance_ms")))
+    # The extension must not break the protocol; success stays in the
+    # same ballpark and distance must not regress badly.
+    assert success["locaware+locrouting"] >= success["locaware"] * 0.7
+    assert distance["locaware+locrouting"] <= distance["locaware"] * 1.25

@@ -1,0 +1,30 @@
+"""Extension bench EXT2 — popularity drift.
+
+The temporal locality of queries motivates index caching (§1, refs
+[11, 15]); this bench stresses what happens when the popular set
+*moves*: response indexes must chase it, which is exactly what
+§4.1.2's recency-based replacement is for.
+"""
+
+from conftest import ablation_queries
+
+from repro.experiments.ablations import ablate_popularity_shift
+
+
+def test_ext_popularity_shift(benchmark, show):
+    result = benchmark.pedantic(
+        ablate_popularity_shift,
+        kwargs={"max_queries": ablation_queries()},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+
+    intervals = result.column("shift_interval_s")
+    locaware = dict(zip(intervals, result.column("locaware success")))
+    # Drift must not *help*: the stationary workload is the easiest
+    # case for a cache.
+    fastest = intervals[-1]
+    assert locaware[fastest] <= locaware["stationary"] + 0.05
+    for rate in result.column("dicas success"):
+        assert 0.0 <= rate <= 1.0

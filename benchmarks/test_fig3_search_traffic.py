@@ -1,0 +1,26 @@
+"""Figure 3 bench — regenerates the search-traffic comparison.
+
+Paper (§5.2): "Locaware like Dicas approaches, outperforms flooding by
+98% in terms of search traffic reduction."
+"""
+
+from repro.experiments import fig3_search_traffic as fig3
+
+
+def test_fig3_search_traffic(figure_comparison, benchmark, show):
+    benchmark(fig3.figure_series, figure_comparison)
+    show(fig3.render(figure_comparison))
+
+    summaries = figure_comparison.summaries()
+    flooding = summaries["flooding"].mean_messages
+    assert flooding > 100, "flooding at paper scale floods hundreds of messages"
+    for name in ("dicas", "dicas-keys", "locaware"):
+        reduction = 1.0 - summaries[name].mean_messages / flooding
+        assert reduction > 0.9, (
+            f"{name} should cut >90% of flooding traffic (paper: ~98%), "
+            f"got {reduction:.1%}"
+        )
+    # The three index-caching protocols must be in the same ballpark
+    # (the paper plots them nearly on top of each other).
+    caching = [summaries[n].mean_messages for n in ("dicas", "dicas-keys", "locaware")]
+    assert max(caching) / min(caching) < 3.0

@@ -1,0 +1,25 @@
+"""Figure 4 bench — regenerates the success-rate comparison.
+
+Paper (§5.2): flooding wins on success rate (maximal scope at maximal
+cost); Locaware substantially compensates versus Dicas (+23%) and
+Dicas-Keys (+33%) thanks to multi-provider indexes and true keyword
+support.
+"""
+
+from repro.experiments import fig4_success_rate as fig4
+
+
+def test_fig4_success_rate(figure_comparison, benchmark, show):
+    benchmark(fig4.figure_series, figure_comparison)
+    show(fig4.render(figure_comparison))
+
+    summaries = figure_comparison.summaries()
+    rates = {name: s.success_rate for name, s in summaries.items()}
+    # Shape 1: flooding on top.
+    for name in ("dicas", "dicas-keys", "locaware"):
+        assert rates["flooding"] > rates[name], (
+            f"flooding must beat {name}: {rates}"
+        )
+    # Shape 2: Locaware beats both Dicas variants.
+    assert rates["locaware"] > rates["dicas"], rates
+    assert rates["locaware"] > rates["dicas-keys"], rates

@@ -1,0 +1,62 @@
+"""repro — a reproduction of *Locaware: Index Caching in Unstructured
+P2P-file Sharing Systems* (El Dick & Pacitti, DAMAP/EDBT 2009).
+
+Quickstart::
+
+    from repro import SimulationConfig, P2PNetwork, LocawareProtocol
+    from repro.workload import QueryWorkload
+
+    config = SimulationConfig.small()
+    network = P2PNetwork.build(config)
+    protocol = LocawareProtocol(network)
+    protocol.start()
+    workload = QueryWorkload(network, protocol.issue_query, max_queries=200)
+    workload.start()
+    # Locaware's periodic Bloom pushes keep the event queue alive, so
+    # advance time in bounded slices instead of draining the queue:
+    while workload.generated < 200 or protocol.pending_queries > 0:
+        network.sim.run(until=network.sim.now + 500.0)
+    protocol.stop()
+    print(sum(o.success for o in protocol.outcomes), "queries satisfied")
+
+Higher-level experiment drivers (the paper's figures) live in
+:mod:`repro.experiments`; measurement helpers in :mod:`repro.analysis`.
+"""
+
+from .core import (
+    BloomRouter,
+    LocationAwareIndex,
+    LocationAwareSelector,
+    LocawareProtocol,
+)
+from .overlay import ChurnProcess, OverlayGraph, P2PNetwork, Peer
+from .protocols import (
+    DicasKeysProtocol,
+    DicasProtocol,
+    FloodingProtocol,
+    QueryOutcome,
+    SearchProtocol,
+)
+from .sim import RandomStreams, SimulationConfig, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SimulationConfig",
+    "Simulator",
+    "RandomStreams",
+    "P2PNetwork",
+    "Peer",
+    "OverlayGraph",
+    "ChurnProcess",
+    "SearchProtocol",
+    "QueryOutcome",
+    "FloodingProtocol",
+    "DicasProtocol",
+    "DicasKeysProtocol",
+    "LocawareProtocol",
+    "LocationAwareIndex",
+    "BloomRouter",
+    "LocationAwareSelector",
+]

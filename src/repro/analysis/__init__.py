@@ -1,0 +1,50 @@
+"""Measurement and reporting: outcome series, tables, claim checks."""
+
+from .ascii_chart import render_chart, render_figure_chart
+from .collectors import (
+    MetricSeries,
+    OutcomeSummary,
+    collect_series,
+    summarize_outcomes,
+)
+from .comparison import ClaimCheck, check_paper_claims, relative_change
+from .distributions import (
+    DistanceDistribution,
+    cdf_points,
+    distance_distribution,
+    percentile,
+)
+from .persistence import (
+    LoadedComparison,
+    comparison_to_document,
+    load_comparison_document,
+    save_comparison,
+)
+from .report import claims_report, comparison_report, markdown_table
+from .tables import format_percent, format_series_table, format_table
+
+__all__ = [
+    "MetricSeries",
+    "OutcomeSummary",
+    "collect_series",
+    "summarize_outcomes",
+    "ClaimCheck",
+    "check_paper_claims",
+    "relative_change",
+    "format_table",
+    "format_series_table",
+    "format_percent",
+    "comparison_to_document",
+    "save_comparison",
+    "load_comparison_document",
+    "LoadedComparison",
+    "markdown_table",
+    "comparison_report",
+    "claims_report",
+    "percentile",
+    "DistanceDistribution",
+    "distance_distribution",
+    "cdf_points",
+    "render_chart",
+    "render_figure_chart",
+]

@@ -1,0 +1,97 @@
+"""Terminal line charts for figure series.
+
+The reproduction is terminal-first (no plotting dependencies); these
+charts give the figures' *shape* at a glance — crossovers, trends,
+separations — complementing the exact numbers of the tables.
+
+Rendering: each series is sampled onto a character grid; rows carry a
+y-axis scale, a legend maps glyphs to series names.  NaN points (empty
+buckets) are skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_chart", "render_figure_chart"]
+
+#: Plot glyphs assigned to series in insertion order.
+_GLYPHS = "*o+x#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    All series share the x-axis (index position) and the y-scale.
+    Returns a multi-line string; empty input yields a message line.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    cleaned = {
+        name: [v for v in values]
+        for name, values in series.items()
+        if any(not _is_nan(v) for v in values)
+    }
+    if not cleaned:
+        return "(no data to chart)"
+    finite = [
+        v for values in cleaned.values() for v in values if not _is_nan(v)
+    ]
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    max_points = max(len(v) for v in cleaned.values())
+    for series_index, (name, values) in enumerate(cleaned.items()):
+        glyph = _GLYPHS[series_index % len(_GLYPHS)]
+        for i, value in enumerate(values):
+            if _is_nan(value):
+                continue
+            x = _scale(i, max(1, max_points - 1), width - 1)
+            y = _scale(value - lo, hi - lo, height - 1)
+            grid[height - 1 - y][x] = glyph
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        y_value = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{y_value:10.1f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_figure_chart(
+    x_values: Sequence[int],
+    series: Dict[str, Sequence[float]],
+    title: str,
+    y_label: str,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A titled chart with an x-range caption (the figure modules' view)."""
+    chart = render_chart(series, width=width, height=height, y_label=y_label)
+    x_caption = (
+        f"x: #queries {x_values[0]}..{x_values[-1]}" if x_values else "x: (empty)"
+    )
+    return f"{title}\n{chart}\n{' ' * 12}{x_caption}"
+
+
+def _is_nan(value: float) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _scale(value: float, value_range: float, cells: int) -> int:
+    if value_range <= 0:
+        return 0
+    position = int(round(cells * value / value_range))
+    return max(0, min(cells, position))

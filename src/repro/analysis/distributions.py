@@ -1,0 +1,92 @@
+"""Distributional views of per-query metrics.
+
+The paper reports means; a practitioner evaluating Locaware also cares
+about the *tail* — the worst downloads are the ones users complain
+about.  This module adds percentile summaries and CDF extraction over
+outcome collections, used by the report generator and the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..protocols.base import QueryOutcome
+
+__all__ = ["percentile", "DistanceDistribution", "distance_distribution", "cdf_points"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values.
+
+    ``q`` in [0, 100].  Returns ``nan`` for empty input.  Matches
+    numpy's default ("linear") method so results are cross-checkable.
+    """
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    n = len(sorted_values)
+    if n == 0:
+        return math.nan
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, n - 1)
+    weight = rank - lower
+    return float(sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight)
+
+
+@dataclass(frozen=True)
+class DistanceDistribution:
+    """Percentile summary of download distances (successful queries)."""
+
+    count: int
+    p10: float
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+
+    @classmethod
+    def empty(cls) -> "DistanceDistribution":
+        nan = math.nan
+        return cls(0, nan, nan, nan, nan, nan)
+
+
+def distance_distribution(outcomes: Sequence[QueryOutcome]) -> DistanceDistribution:
+    """Summarise the distance distribution of a run's successes."""
+    values = sorted(
+        o.download_distance_ms
+        for o in outcomes
+        if o.success and not math.isnan(o.download_distance_ms)
+    )
+    if not values:
+        return DistanceDistribution.empty()
+    return DistanceDistribution(
+        count=len(values),
+        p10=percentile(values, 10),
+        p50=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        mean=sum(values) / len(values),
+    )
+
+
+def cdf_points(
+    values: Sequence[float], num_points: int = 20
+) -> List[Tuple[float, float]]:
+    """``(value, fraction <= value)`` pairs for plotting a CDF.
+
+    Evenly spaced in probability; empty input yields an empty list.
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    points: List[Tuple[float, float]] = []
+    for i in range(num_points):
+        q = 100.0 * i / (num_points - 1)
+        points.append((percentile(ordered, q), q / 100.0))
+    return points

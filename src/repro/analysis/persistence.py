@@ -1,0 +1,227 @@
+"""Persist experiment results to JSON and load them back.
+
+Paper-scale comparison runs take a minute; ablation sweeps take
+several.  Persisting their results lets EXPERIMENTS.md be regenerated,
+plots be re-rendered, and claim checks be re-evaluated without
+re-simulating — and makes results diffable artefacts in the repo.
+
+The format is deliberately plain JSON (no pickles): a ``comparison``
+document holds the configuration, per-protocol outcome summaries, and
+the three figure series; ``load_comparison_document`` restores a
+:class:`LoadedComparison` offering the same accessors the live
+:class:`~repro.experiments.runner.ComparisonResult` provides, so the
+analysis layer works identically on fresh and persisted data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List
+
+from ..sim.metrics import BucketedSeries
+from .collectors import MetricSeries, OutcomeSummary
+
+__all__ = [
+    "comparison_to_document",
+    "save_comparison",
+    "load_comparison_document",
+    "LoadedComparison",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _series_to_lists(series: BucketedSeries) -> Dict[str, Any]:
+    return {
+        "name": series.name,
+        "bucket_width": series.bucket_width,
+        "edges": series.bucket_edges(),
+        "windowed_means": [_none_if_nan(v) for v in series.windowed_means()],
+        "cumulative_means": [_none_if_nan(v) for v in series.cumulative_means()],
+        "sample_count": series.sample_count,
+        "overall_mean": _none_if_nan(series.overall_mean()),
+    }
+
+
+def _none_if_nan(value: float) -> Any:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _nan_if_none(value: Any) -> float:
+    return math.nan if value is None else float(value)
+
+
+def comparison_to_document(result: Any) -> Dict[str, Any]:
+    """Serialise a ComparisonResult-like object to a JSON-able dict.
+
+    Accepts any object with ``config``, ``max_queries``,
+    ``bucket_width``, and ``runs`` (name → run with ``summary``,
+    ``series``, ``locally_satisfied``, ``sim_time_s``,
+    ``events_processed``).
+    """
+    runs: Dict[str, Any] = {}
+    for name, run in result.runs.items():
+        summary = run.summary
+        runs[name] = {
+            "summary": {
+                "queries": summary.queries,
+                "successes": summary.successes,
+                "success_rate": _none_if_nan(summary.success_rate),
+                "mean_messages": _none_if_nan(summary.mean_messages),
+                "mean_download_distance_ms": _none_if_nan(
+                    summary.mean_download_distance_ms
+                ),
+                "mean_responses": _none_if_nan(summary.mean_responses),
+            },
+            "series": {
+                "download_distance": _series_to_lists(run.series.download_distance),
+                "search_traffic": _series_to_lists(run.series.search_traffic),
+                "success_rate": _series_to_lists(run.series.success_rate),
+            },
+            "locally_satisfied": run.locally_satisfied,
+            "sim_time_s": run.sim_time_s,
+            "events_processed": run.events_processed,
+        }
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "comparison",
+        "config": result.config.to_dict(),
+        "max_queries": result.max_queries,
+        "bucket_width": result.bucket_width,
+        "runs": runs,
+    }
+
+
+def save_comparison(result: Any, out: IO[str]) -> None:
+    """Write a comparison document as indented JSON."""
+    json.dump(comparison_to_document(result), out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+@dataclass
+class _LoadedSeries:
+    """Read-only stand-in for a BucketedSeries restored from JSON."""
+
+    name: str
+    bucket_width: int
+    edges: List[int]
+    _windowed: List[float] = field(default_factory=list)
+    _cumulative: List[float] = field(default_factory=list)
+    sample_count: int = 0
+    _overall: float = math.nan
+
+    def bucket_edges(self) -> List[int]:
+        """The persisted x-axis edges."""
+        return list(self.edges)
+
+    def windowed_means(self) -> List[float]:
+        """The persisted per-bucket means."""
+        return list(self._windowed)
+
+    def cumulative_means(self) -> List[float]:
+        """The persisted cumulative means."""
+        return list(self._cumulative)
+
+    def overall_mean(self) -> float:
+        """The persisted whole-run mean."""
+        return self._overall
+
+
+@dataclass
+class _LoadedRun:
+    """One protocol's restored results."""
+
+    protocol_name: str
+    summary: OutcomeSummary
+    series: MetricSeries
+    locally_satisfied: int
+    sim_time_s: float
+    events_processed: int
+
+
+@dataclass
+class LoadedComparison:
+    """A comparison document restored from JSON.
+
+    Offers the accessors :func:`repro.analysis.check_paper_claims` and
+    the figure modules need (``runs``, ``summaries()``, ``series()``,
+    ``bucket_edges()``).
+    """
+
+    config: Dict[str, Any]
+    max_queries: int
+    bucket_width: int
+    runs: Dict[str, _LoadedRun]
+
+    def summaries(self) -> Dict[str, OutcomeSummary]:
+        """Per-protocol aggregates, mirroring ComparisonResult."""
+        return {name: run.summary for name, run in self.runs.items()}
+
+    def series(self) -> Dict[str, MetricSeries]:
+        """Per-protocol figure series, mirroring ComparisonResult."""
+        return {name: run.series for name, run in self.runs.items()}
+
+    def bucket_edges(self) -> List[int]:
+        """Common x-axis across the persisted protocols."""
+        edges: List[int] = []
+        for run in self.runs.values():
+            candidate = run.series.search_traffic.bucket_edges()
+            if len(candidate) > len(edges):
+                edges = candidate
+        return edges
+
+
+def _load_series(doc: Dict[str, Any]) -> _LoadedSeries:
+    return _LoadedSeries(
+        name=doc["name"],
+        bucket_width=doc["bucket_width"],
+        edges=list(doc["edges"]),
+        _windowed=[_nan_if_none(v) for v in doc["windowed_means"]],
+        _cumulative=[_nan_if_none(v) for v in doc["cumulative_means"]],
+        sample_count=doc["sample_count"],
+        _overall=_nan_if_none(doc["overall_mean"]),
+    )
+
+
+def load_comparison_document(source: IO[str]) -> LoadedComparison:
+    """Restore a document written by :func:`save_comparison`."""
+    doc = json.load(source)
+    if doc.get("kind") != "comparison":
+        raise ValueError(f"not a comparison document: kind={doc.get('kind')!r}")
+    if doc.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {doc.get('format_version')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    runs: Dict[str, _LoadedRun] = {}
+    for name, run_doc in doc["runs"].items():
+        s = run_doc["summary"]
+        summary = OutcomeSummary(
+            queries=s["queries"],
+            successes=s["successes"],
+            success_rate=_nan_if_none(s["success_rate"]),
+            mean_messages=_nan_if_none(s["mean_messages"]),
+            mean_download_distance_ms=_nan_if_none(s["mean_download_distance_ms"]),
+            mean_responses=_nan_if_none(s["mean_responses"]),
+        )
+        series = MetricSeries(
+            download_distance=_load_series(run_doc["series"]["download_distance"]),
+            search_traffic=_load_series(run_doc["series"]["search_traffic"]),
+            success_rate=_load_series(run_doc["series"]["success_rate"]),
+        )
+        runs[name] = _LoadedRun(
+            protocol_name=name,
+            summary=summary,
+            series=series,
+            locally_satisfied=run_doc["locally_satisfied"],
+            sim_time_s=run_doc["sim_time_s"],
+            events_processed=run_doc["events_processed"],
+        )
+    return LoadedComparison(
+        config=doc["config"],
+        max_queries=doc["max_queries"],
+        bucket_width=doc["bucket_width"],
+        runs=runs,
+    )

@@ -1,0 +1,191 @@
+"""A plain bit-vector Bloom filter.
+
+This is the structure exchanged between Locaware neighbors (§4.2):
+peer ``n`` summarises the keywords of every filename cached in its
+response index as ``BF_n`` and ships it to neighbors, who route queries
+by membership tests against the stored copies.
+
+Hashing uses the Kirsch–Mitzenmacher double-hashing scheme: two 64-bit
+values are drawn from a single BLAKE2b digest of the element, and the
+``i``-th probe position is ``(h1 + i·h2) mod m``.  BLAKE2b keeps
+membership deterministic across processes and Python versions (the
+built-in ``hash()`` is salted per process, which would break
+reproducibility of routing decisions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["element_positions", "BloomFilter"]
+
+
+def element_positions(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
+    """The probe positions of ``element`` in an ``(m=bits, k=hashes)`` filter.
+
+    Exposed at module level because the plain and counting filters must
+    agree on positions exactly (the counting filter exports a plain
+    bit-vector view of itself).
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    if hashes <= 0:
+        raise ValueError(f"hashes must be positive, got {hashes}")
+    digest = hashlib.blake2b(element.encode("utf-8"), digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full-period stride
+    return tuple((h1 + i * h2) % bits for i in range(hashes))
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over strings.
+
+    Supports insertion, membership, union, and (de)serialisation of the
+    raw bit vector.  Deletion is *not* supported here — peers that must
+    delete (cache evictions) keep a :class:`~repro.bloom.counting.
+    CountingBloomFilter` locally and export this plain form to
+    neighbors.
+    """
+
+    __slots__ = ("_bits", "_hashes", "_vector", "_inserted")
+
+    def __init__(self, bits: int, hashes: int) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        if hashes <= 0:
+            raise ValueError(f"hashes must be positive, got {hashes}")
+        self._bits = bits
+        self._hashes = hashes
+        self._vector = bytearray((bits + 7) // 8)
+        self._inserted = 0
+
+    # -- core operations ----------------------------------------------------
+
+    def add(self, element: str) -> None:
+        """Insert ``element``."""
+        for pos in element_positions(element, self._bits, self._hashes):
+            self._vector[pos >> 3] |= 1 << (pos & 7)
+        self._inserted += 1
+
+    def add_all(self, elements: Iterable[str]) -> None:
+        """Insert every element of ``elements``."""
+        for element in elements:
+            self.add(element)
+
+    def __contains__(self, element: str) -> bool:
+        return all(
+            self._vector[pos >> 3] & (1 << (pos & 7))
+            for pos in element_positions(element, self._bits, self._hashes)
+        )
+
+    def contains_all(self, elements: Iterable[str]) -> bool:
+        """Whether every element tests positive (the §4.2 query match rule)."""
+        return all(element in self for element in elements)
+
+    def clear(self) -> None:
+        """Reset to the empty filter."""
+        for i in range(len(self._vector)):
+            self._vector[i] = 0
+        self._inserted = 0
+
+    # -- combination -----------------------------------------------------
+
+    def union_with(self, other: "BloomFilter") -> None:
+        """In-place union; both filters must share (bits, hashes)."""
+        self._check_compatible(other)
+        for i, byte in enumerate(other._vector):
+            self._vector[i] |= byte
+        self._inserted += other._inserted
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if self._bits != other._bits or self._hashes != other._hashes:
+            raise ValueError(
+                f"incompatible filters: ({self._bits}, {self._hashes}) vs "
+                f"({other._bits}, {other._hashes})"
+            )
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Filter size m in bits."""
+        return self._bits
+
+    @property
+    def hashes(self) -> int:
+        """Number of hash functions k."""
+        return self._hashes
+
+    @property
+    def approximate_insertions(self) -> int:
+        """Insertions performed (an upper bound on distinct elements)."""
+        return self._inserted
+
+    def set_bit_count(self) -> int:
+        """Number of 1 bits in the vector."""
+        return sum(byte.bit_count() for byte in self._vector)
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set."""
+        return self.set_bit_count() / self._bits
+
+    def set_positions(self) -> List[int]:
+        """Sorted positions of every set bit."""
+        out: List[int] = []
+        for pos in range(self._bits):
+            if self._vector[pos >> 3] & (1 << (pos & 7)):
+                out.append(pos)
+        return out
+
+    def get_bit(self, pos: int) -> bool:
+        """Whether bit ``pos`` is set."""
+        if not (0 <= pos < self._bits):
+            raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
+        return bool(self._vector[pos >> 3] & (1 << (pos & 7)))
+
+    def set_bit(self, pos: int, value: bool) -> None:
+        """Force bit ``pos`` to ``value`` (used when applying deltas)."""
+        if not (0 <= pos < self._bits):
+            raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
+        if value:
+            self._vector[pos >> 3] |= 1 << (pos & 7)
+        else:
+            self._vector[pos >> 3] &= ~(1 << (pos & 7))
+
+    def to_bytes(self) -> bytes:
+        """The raw bit vector (length ``ceil(bits / 8)``)."""
+        return bytes(self._vector)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output."""
+        bf = cls(bits, hashes)
+        if len(data) != len(bf._vector):
+            raise ValueError(
+                f"expected {len(bf._vector)} bytes for a {bits}-bit filter, got {len(data)}"
+            )
+        bf._vector = bytearray(data)
+        return bf
+
+    def copy(self) -> "BloomFilter":
+        """An independent copy of this filter."""
+        clone = BloomFilter(self._bits, self._hashes)
+        clone._vector = bytearray(self._vector)
+        clone._inserted = self._inserted
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return (
+            self._bits == other._bits
+            and self._hashes == other._hashes
+            and self._vector == other._vector
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self._bits}, hashes={self._hashes}, "
+            f"set={self.set_bit_count()})"
+        )

@@ -1,0 +1,233 @@
+"""Command-line interface for the Locaware reproduction.
+
+Subcommands:
+
+- ``figures``  — run the four-protocol comparison and print Figures 2-4
+  plus the §5.2 claim checks (optionally persisting the result);
+- ``claims``   — evaluate the claim checks on a fresh run or a saved
+  JSON result;
+- ``ablation`` — run one ablation sweep (a1..a8, ext, ext2);
+- ``report``   — emit the markdown paper-vs-measured report;
+- ``sweep``    — claim robustness across several seeds;
+- ``info``     — show the §5.1 configuration and the system inventory.
+
+Examples::
+
+    repro-locaware figures --queries 500 --save run.json
+    repro-locaware claims --load run.json
+    repro-locaware ablation a6
+    repro-locaware report --load run.json > measured.md
+    repro-locaware sweep --seeds 1 2 3 --queries 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis import (
+    check_paper_claims,
+    claims_report,
+    comparison_report,
+    load_comparison_document,
+    render_figure_chart,
+    save_comparison,
+)
+from .experiments import (
+    BENCH_BUCKET_WIDTH,
+    BENCH_MAX_QUERIES,
+    fig2_download_distance,
+    fig3_search_traffic,
+    fig4_success_rate,
+    paper_config,
+    run_comparison,
+)
+from .experiments.ablations import (
+    ablate_bloom_size,
+    ablate_cache_capacity,
+    ablate_churn,
+    ablate_group_count,
+    ablate_landmarks,
+    ablate_locaware_routing,
+    ablate_popularity_shift,
+    ablate_substrate,
+    ablate_ttl,
+    measure_bloom_overhead,
+)
+
+__all__ = ["main", "build_parser"]
+
+_ABLATIONS: Dict[str, Callable] = {
+    "a1": ablate_landmarks,
+    "a2": ablate_bloom_size,
+    "a3": ablate_cache_capacity,
+    "a4": ablate_ttl,
+    "a5": ablate_churn,
+    "a6": measure_bloom_overhead,
+    "a7": ablate_group_count,
+    "a8": ablate_substrate,
+    "ext": ablate_locaware_routing,
+    "ext2": ablate_popularity_shift,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-locaware",
+        description="Reproduction of Locaware (El Dick & Pacitti, DAMAP/EDBT 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="run Figures 2-4 + claim checks")
+    _add_run_options(figures)
+    figures.add_argument("--save", metavar="FILE", help="persist the result as JSON")
+    figures.add_argument(
+        "--chart", action="store_true", help="also render ASCII line charts"
+    )
+
+    claims = sub.add_parser("claims", help="evaluate the §5.2 claim checks")
+    _add_run_options(claims)
+    claims.add_argument("--load", metavar="FILE", help="use a saved JSON result")
+
+    ablation = sub.add_parser("ablation", help="run one ablation sweep")
+    ablation.add_argument("id", choices=sorted(_ABLATIONS), help="ablation id")
+    ablation.add_argument("--queries", type=int, default=400)
+    ablation.add_argument("--seed", type=int, default=20090322)
+
+    report = sub.add_parser("report", help="emit the markdown measured report")
+    _add_run_options(report)
+    report.add_argument("--load", metavar="FILE", help="use a saved JSON result")
+
+    sweep = sub.add_parser("sweep", help="claim robustness across seeds")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    sweep.add_argument("--queries", type=int, default=1000)
+
+    sub.add_parser("info", help="show the paper configuration")
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queries", type=int, default=BENCH_MAX_QUERIES)
+    parser.add_argument("--bucket", type=int, default=BENCH_BUCKET_WIDTH)
+    parser.add_argument("--seed", type=int, default=20090322)
+
+
+def _fresh_comparison(args: argparse.Namespace, out) -> object:
+    started = time.time()
+    result = run_comparison(
+        paper_config(seed=args.seed),
+        max_queries=args.queries,
+        bucket_width=args.bucket,
+        progress=lambda m: print(f"  [{time.time() - started:6.1f}s] {m}",
+                                 file=out, flush=True),
+    )
+    print(f"  done in {time.time() - started:.1f}s\n", file=out)
+    return result
+
+
+def _load_or_run(args: argparse.Namespace, out) -> object:
+    if getattr(args, "load", None):
+        with open(args.load, "r", encoding="utf-8") as handle:
+            return load_comparison_document(handle)
+    return _fresh_comparison(args, out)
+
+
+def _cmd_figures(args: argparse.Namespace, out) -> int:
+    result = _fresh_comparison(args, out)
+    for module in (fig2_download_distance, fig3_search_traffic, fig4_success_rate):
+        print(module.render(result), file=out)
+        print(file=out)
+        if args.chart:
+            chart = render_figure_chart(
+                result.bucket_edges(),
+                module.figure_series(result),
+                title=module.TITLE,
+                y_label=module.Y_LABEL,
+            )
+            print(chart, file=out)
+            print(file=out)
+    failures = _print_claims(result, out)
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            save_comparison(result, handle)
+        print(f"saved result to {args.save}", file=out)
+    return 1 if failures else 0
+
+
+def _print_claims(result, out) -> int:
+    checks = check_paper_claims(result.summaries(), result.series())
+    failures = 0
+    for check in checks:
+        status = "PASS" if check.holds else "FAIL"
+        failures += 0 if check.holds else 1
+        print(f"[{status}] {check.claim}", file=out)
+        print(f"       {check.detail}", file=out)
+    print(f"\n{len(checks) - failures}/{len(checks)} paper claims hold", file=out)
+    return failures
+
+
+def _cmd_claims(args: argparse.Namespace, out) -> int:
+    result = _load_or_run(args, out)
+    return 1 if _print_claims(result, out) else 0
+
+
+def _cmd_ablation(args: argparse.Namespace, out) -> int:
+    sweep = _ABLATIONS[args.id]
+    result = sweep(paper_config(seed=args.seed), max_queries=args.queries)
+    print(result.render(), file=out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    result = _load_or_run(args, out)
+    print(comparison_report(result), file=out)
+    print(file=out)
+    print("### Claim checks\n", file=out)
+    print(claims_report(result), file=out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    from .experiments.robustness import run_seed_sweep
+
+    sweep = run_seed_sweep(
+        args.seeds,
+        max_queries=args.queries,
+        progress=lambda m: print(f"  {m}", file=out, flush=True),
+    )
+    print(sweep.render(), file=out)
+    return 0 if sweep.all_claims_always_hold() else 1
+
+
+def _cmd_info(args: argparse.Namespace, out) -> int:
+    config = paper_config()
+    print("Paper configuration (§5.1):", file=out)
+    for key, value in sorted(config.to_dict().items()):
+        print(f"  {key:<24} {value}", file=out)
+    print("\nProtocols: flooding, dicas, dicas-keys, locaware", file=out)
+    print("Ablations:", ", ".join(sorted(_ABLATIONS)), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "claims": _cmd_claims,
+    "ablation": _cmd_ablation,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Location-aware provider selection (§4.1.2 + §5.1).
+
+Given the provider entries collected from query responses, the
+requestor prefers a provider inside its own locality:
+
+1. **locId match** — any valid provider whose locId equals the
+   requestor's is taken immediately (first such entry in response
+   arrival order, so earlier answers win ties);
+2. **RTT probing fallback** — §5.1: "when a requestor peer does not
+   find a provider with matching locId amongst its received indexes,
+   it measures its RTT to the set of available providers and chooses
+   the one with the smallest RTT".  Probes cost two messages each and
+   are charged to the query's traffic tally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..overlay.messages import ProviderEntry, QueryResponse
+from ..overlay.network import P2PNetwork
+
+__all__ = ["LocationAwareSelector"]
+
+Candidate = Tuple[QueryResponse, ProviderEntry]
+
+
+class LocationAwareSelector:
+    """Implements the two-stage provider choice of Locaware."""
+
+    def __init__(self, network: P2PNetwork) -> None:
+        self._network = network
+
+    def choose(
+        self,
+        origin: int,
+        origin_locid: int,
+        candidates: List[Candidate],
+        query_id: Optional[int] = None,
+    ) -> Optional[Candidate]:
+        """Pick the download source among valid ``candidates``.
+
+        ``candidates`` must already be validity-filtered (alive peers
+        actually sharing the file) and ordered by response arrival.
+        """
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate[1].locid == origin_locid:
+                self._network.metrics.counter("selection.locid_match").increment()
+                return candidate
+        # Fallback: probe each distinct provider once, pick minimum RTT.
+        distinct: List[Candidate] = []
+        seen_ids = set()
+        for candidate in candidates:
+            peer_id = candidate[1].peer_id
+            if peer_id not in seen_ids:
+                seen_ids.add(peer_id)
+                distinct.append(candidate)
+        rtts = self._network.rtt_probe_ms(
+            origin, [c[1].peer_id for c in distinct], query_id=query_id
+        )
+        best = min(distinct, key=lambda c: (rtts[c[1].peer_id], c[1].peer_id))
+        self._network.metrics.counter("selection.rtt_fallback").increment()
+        return best

@@ -1,0 +1,45 @@
+"""Experiment drivers: §5.1 setup, figure reproductions, ablations."""
+
+from . import ablations, fig2_download_distance, fig3_search_traffic, fig4_success_rate
+from .robustness import SeedSweepResult, run_seed_sweep
+from .runner import (
+    DEFAULT_PROTOCOL_ORDER,
+    PROTOCOL_REGISTRY,
+    ComparisonResult,
+    ProtocolRun,
+    make_protocol,
+    run_comparison,
+    run_protocol,
+)
+from .setup import (
+    BENCH_BUCKET_WIDTH,
+    BENCH_MAX_QUERIES,
+    DEFAULT_BUCKET_WIDTH,
+    DEFAULT_MAX_QUERIES,
+    bench_config,
+    paper_config,
+    small_config,
+)
+
+__all__ = [
+    "paper_config",
+    "bench_config",
+    "small_config",
+    "DEFAULT_MAX_QUERIES",
+    "DEFAULT_BUCKET_WIDTH",
+    "BENCH_MAX_QUERIES",
+    "BENCH_BUCKET_WIDTH",
+    "PROTOCOL_REGISTRY",
+    "DEFAULT_PROTOCOL_ORDER",
+    "ProtocolRun",
+    "ComparisonResult",
+    "run_protocol",
+    "run_comparison",
+    "make_protocol",
+    "fig2_download_distance",
+    "fig3_search_traffic",
+    "fig4_success_rate",
+    "ablations",
+    "SeedSweepResult",
+    "run_seed_sweep",
+]

@@ -1,0 +1,387 @@
+"""Ablation experiments (DESIGN.md A1-A7 + the §6 extension).
+
+Each ablation sweeps one design parameter the paper discusses and
+reports how the headline metrics move.  They all reuse the same
+runner as the figures, so results are directly comparable.
+
+- A1 ``ablate_landmarks`` — §5.1's landmark-count discussion (4
+  landmarks → 24 locIds vs 5 → 120: too many localities scatter peers
+  and locId matches vanish);
+- A2 ``ablate_bloom_size`` — §5.1's "1200 bits is an optimal
+  representation" sizing argument (too small → false positives
+  mislead routing; larger → no routing benefit, more update bits);
+- A3 ``ablate_cache_capacity`` — §4.1.2's storage-control knob; also
+  the regime where Dicas-Keys' duplicated indexes visibly pollute;
+- A4 ``ablate_ttl`` — the §5.1 TTL bound: scope vs traffic;
+- A5 ``ablate_churn`` — §3.1 dynamicity/staleness: Locaware's
+  multi-provider entries vs Dicas' single pointer;
+- A6 ``measure_bloom_overhead`` — §4.2 footnote: update messages must
+  stay within ~0.132 Kb;
+- A7 ``ablate_group_count`` — the Dicas M parameter: cache
+  concentration vs routing reachability;
+- EXT ``ablate_locaware_routing`` — §6 future work: location-aware
+  *query routing* on top of Locaware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.tables import format_table
+from ..sim.config import SimulationConfig
+from .runner import ProtocolRun, run_protocol
+from .setup import paper_config
+
+__all__ = [
+    "AblationResult",
+    "ablate_landmarks",
+    "ablate_bloom_size",
+    "ablate_cache_capacity",
+    "ablate_ttl",
+    "ablate_churn",
+    "measure_bloom_overhead",
+    "ablate_group_count",
+    "ablate_locaware_routing",
+    "ablate_popularity_shift",
+    "ablate_substrate",
+]
+
+
+@dataclass
+class AblationResult:
+    """A sweep's rows, ready to render as the bench's output table."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The ablation as an ASCII table."""
+        return format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+
+    def column(self, header: str) -> List[Any]:
+        """All values of one column (for assertions in benches/tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _run(
+    config: SimulationConfig,
+    protocol: str,
+    max_queries: int,
+    location_aware_routing: bool = False,
+) -> ProtocolRun:
+    return run_protocol(
+        config,
+        protocol,
+        max_queries=max_queries,
+        bucket_width=max(1, max_queries // 4),
+        location_aware_routing=location_aware_routing,
+    )
+
+
+def ablate_landmarks(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    counts: Sequence[int] = (2, 3, 4, 5),
+) -> AblationResult:
+    """A1 — number of landmarks (locId granularity)."""
+    base = base if base is not None else paper_config()
+    result = AblationResult(
+        "A1",
+        "landmark count (locId granularity, §5.1 discussion)",
+        ["landmarks", "locIds", "peers/locId", "locId matches", "success", "distance_ms"],
+    )
+    for count in counts:
+        config = base.replace(num_landmarks=count)
+        run = _run(config, "locaware", max_queries)
+        snapshot = run.metric_snapshot
+        from ..net.underlay import Underlay  # local import to avoid cycles
+        from ..sim.rng import RandomStreams
+
+        underlay = Underlay.build(
+            config.num_peers,
+            RandomStreams(config.seed).stream("underlay"),
+            num_landmarks=count,
+        )
+        result.rows.append(
+            [
+                count,
+                math.factorial(count),
+                round(underlay.mean_peers_per_locid(), 1),
+                int(snapshot.get("counter.selection.locid_match", 0)),
+                run.summary.success_rate,
+                run.summary.mean_download_distance_ms,
+            ]
+        )
+    return result
+
+
+def ablate_bloom_size(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    sizes: Sequence[int] = (150, 300, 600, 1200, 2400),
+) -> AblationResult:
+    """A2 — Bloom filter size (routing accuracy vs update cost)."""
+    base = base if base is not None else paper_config()
+    result = AblationResult(
+        "A2",
+        "Bloom filter size (§5.1: 1200 bits for ~150 keywords)",
+        ["bits", "est_fpr", "bf matches", "success", "msgs/query", "update_bits"],
+    )
+    from ..bloom.params import false_positive_rate
+
+    expected_keywords = base.index_capacity * base.keywords_per_file
+    for bits in sizes:
+        config = base.replace(bloom_bits=bits)
+        run = _run(config, "locaware", max_queries)
+        snapshot = run.metric_snapshot
+        result.rows.append(
+            [
+                bits,
+                round(false_positive_rate(bits, config.bloom_hashes, expected_keywords), 4),
+                int(snapshot.get("counter.routing.bf_match", 0)),
+                run.summary.success_rate,
+                run.summary.mean_messages,
+                round(snapshot.get("summary.bloom.update_bits.mean", math.nan), 1),
+            ]
+        )
+    return result
+
+
+def ablate_cache_capacity(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    capacities: Sequence[int] = (2, 5, 10, 25, 50),
+    protocols: Sequence[str] = ("dicas", "dicas-keys", "locaware"),
+) -> AblationResult:
+    """A3 — response-index capacity (§4.1.2 storage control)."""
+    base = base if base is not None else paper_config()
+    result = AblationResult(
+        "A3",
+        "response-index capacity (cache pressure; Dicas-Keys duplication)",
+        ["capacity"] + [f"{p} success" for p in protocols],
+    )
+    for capacity in capacities:
+        config = base.replace(index_capacity=capacity)
+        row: List[Any] = [capacity]
+        for protocol in protocols:
+            run = _run(config, protocol, max_queries)
+            row.append(run.summary.success_rate)
+        result.rows.append(row)
+    return result
+
+
+def ablate_ttl(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 300,
+    ttls: Sequence[int] = (3, 5, 7, 9),
+    protocols: Sequence[str] = ("flooding", "locaware"),
+) -> AblationResult:
+    """A4 — TTL bound: search scope vs traffic."""
+    base = base if base is not None else paper_config()
+    headers = ["ttl"]
+    for protocol in protocols:
+        headers += [f"{protocol} success", f"{protocol} msgs"]
+    result = AblationResult("A4", "TTL bound (scope vs traffic)", headers)
+    for ttl in ttls:
+        config = base.replace(ttl=ttl)
+        row: List[Any] = [ttl]
+        for protocol in protocols:
+            run = _run(config, protocol, max_queries)
+            row += [run.summary.success_rate, run.summary.mean_messages]
+        result.rows.append(row)
+    return result
+
+
+def ablate_churn(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    mean_sessions: Sequence[Optional[float]] = (None, 3600.0, 1200.0, 600.0),
+    protocols: Sequence[str] = ("dicas", "locaware"),
+) -> AblationResult:
+    """A5 — churn: stale single-provider pointers vs multi-provider entries.
+
+    ``None`` in ``mean_sessions`` means churn disabled.
+    """
+    base = base if base is not None else paper_config()
+    headers = ["mean_session_s"] + [f"{p} success" for p in protocols]
+    result = AblationResult(
+        "A5", "churn (index staleness; §4.1.2 motivation)", headers
+    )
+    for session in mean_sessions:
+        if session is None:
+            config = base.replace(churn_enabled=False)
+            label: Any = "off"
+        else:
+            config = base.replace(
+                churn_enabled=True,
+                mean_session_s=session,
+                mean_downtime_s=session / 4.0,
+            )
+            label = session
+        row: List[Any] = [label]
+        for protocol in protocols:
+            run = _run(config, protocol, max_queries)
+            row.append(run.summary.success_rate)
+        result.rows.append(row)
+    return result
+
+
+def measure_bloom_overhead(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+) -> AblationResult:
+    """A6 — §4.2 footnote: a BF update is at most 12 × 11 = 132 bits."""
+    base = base if base is not None else paper_config()
+    run = _run(base, "locaware", max_queries)
+    snapshot = run.metric_snapshot
+    mean_bits = snapshot.get("summary.bloom.update_bits.mean", math.nan)
+    update_count = snapshot.get("summary.bloom.update_bits.count", 0.0)
+    messages = snapshot.get("counter.messages.bloom_update", 0.0)
+    search_messages = snapshot.get("counter.messages.query", 0.0) + snapshot.get(
+        "counter.messages.response", 0.0
+    )
+    result = AblationResult(
+        "A6",
+        "Bloom update overhead (§4.2 footnote: I = 132 bits per update)",
+        ["quantity", "value"],
+    )
+    result.rows = [
+        ["bloom update pushes", int(update_count)],
+        ["bloom update messages", int(messages)],
+        ["mean update size (bits)", round(mean_bits, 1) if not math.isnan(mean_bits) else math.nan],
+        ["paper bound (bits)", 132],
+        ["search messages (for scale)", int(search_messages)],
+        ["bloom/search message ratio", round(messages / search_messages, 3) if search_messages else math.nan],
+    ]
+    return result
+
+
+def ablate_group_count(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    group_counts: Sequence[int] = (2, 4, 8, 16),
+    protocols: Sequence[str] = ("dicas", "locaware"),
+) -> AblationResult:
+    """A7 — group modulus M: concentration vs reachability."""
+    base = base if base is not None else paper_config()
+    headers = ["M"]
+    for protocol in protocols:
+        headers += [f"{protocol} success", f"{protocol} msgs"]
+    result = AblationResult("A7", "group count M (Dicas parameter)", headers)
+    for m in group_counts:
+        config = base.replace(group_count=m)
+        row: List[Any] = [m]
+        for protocol in protocols:
+            run = _run(config, protocol, max_queries)
+            row += [run.summary.success_rate, run.summary.mean_messages]
+        result.rows.append(row)
+    return result
+
+
+def ablate_substrate(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    protocols: Sequence[str] = ("flooding", "locaware"),
+) -> AblationResult:
+    """A8 — substrate sensitivity (DESIGN.md substitution audit).
+
+    The reproduction replaces BRITE with a metric-space latency model
+    and clusters peer placement.  This sweep re-runs the headline
+    protocols on every combination of latency model (Euclidean vs
+    Waxman router-level) and placement (clustered vs uniform) to check
+    that the paper's *shape* — Locaware's distance advantage at a
+    fraction of flooding's traffic — does not hinge on the substitution.
+    """
+    base = base if base is not None else paper_config()
+    headers = ["substrate"]
+    for protocol in protocols:
+        headers += [f"{protocol} success", f"{protocol} dist_ms", f"{protocol} msgs"]
+    result = AblationResult(
+        "A8", "substrate sensitivity (latency model x placement)", headers
+    )
+    combos = [
+        ("euclidean/clustered", "euclidean", "clustered"),
+        ("euclidean/uniform", "euclidean", "uniform"),
+        ("router/clustered", "router", "clustered"),
+        ("router/uniform", "router", "uniform"),
+    ]
+    for label, model, placement in combos:
+        config = base.replace(latency_model=model, peer_placement=placement)
+        row: List[Any] = [label]
+        for protocol in protocols:
+            run = _run(config, protocol, max_queries)
+            row += [
+                run.summary.success_rate,
+                run.summary.mean_download_distance_ms,
+                run.summary.mean_messages,
+            ]
+        result.rows.append(row)
+    return result
+
+
+def ablate_popularity_shift(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+    shift_intervals: Sequence[Optional[float]] = (None, 1200.0, 300.0),
+    protocols: Sequence[str] = ("dicas", "locaware"),
+) -> AblationResult:
+    """EXT2 — popularity drift (temporal-locality stress).
+
+    Re-draws the Zipf rank assignment every ``interval`` virtual
+    seconds (``None`` = stationary).  Index caches chase a moving
+    popular set; §4.1.2's recency-based replacement is the mechanism
+    that lets them keep up.
+    """
+    base = base if base is not None else paper_config()
+    headers = ["shift_interval_s"] + [f"{p} success" for p in protocols]
+    result = AblationResult(
+        "EXT2", "popularity drift (shifting Zipf workload)", headers
+    )
+    for interval in shift_intervals:
+        row: List[Any] = ["stationary" if interval is None else interval]
+        for protocol in protocols:
+            run = run_protocol(
+                base,
+                protocol,
+                max_queries=max_queries,
+                bucket_width=max(1, max_queries // 4),
+                popularity_shift_s=interval,
+            )
+            row.append(run.summary.success_rate)
+        result.rows.append(row)
+    return result
+
+
+def ablate_locaware_routing(
+    base: Optional[SimulationConfig] = None,
+    max_queries: int = 400,
+) -> AblationResult:
+    """EXT — §6 future work: location-aware query routing.
+
+    Compares stock Locaware against the variant that biases equally
+    eligible next hops towards the requestor's locality.
+    """
+    base = base if base is not None else paper_config()
+    result = AblationResult(
+        "EXT",
+        "location-aware query routing (§6 future work)",
+        ["variant", "success", "distance_ms", "msgs/query", "locId matches"],
+    )
+    for label, flag in (("locaware", False), ("locaware+locrouting", True)):
+        run = _run(base, "locaware", max_queries, location_aware_routing=flag)
+        snapshot = run.metric_snapshot
+        result.rows.append(
+            [
+                label,
+                run.summary.success_rate,
+                run.summary.mean_download_distance_ms,
+                run.summary.mean_messages,
+                int(snapshot.get("counter.selection.locid_match", 0)),
+            ]
+        )
+    return result

@@ -1,0 +1,45 @@
+"""Figure 3 — comparison of search traffic.
+
+"The search traffic ... can be measured as the total number of
+messages produced by a query in the P2P network" (§5.2).  The paper
+reports Locaware (like Dicas) ≈98% below flooding: index caching's
+whole point is to answer queries without blind propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.collectors import MetricSeries
+from ..analysis.tables import format_series_table
+from ..sim.metrics import BucketedSeries
+from .runner import ComparisonResult
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Figure 3: Comparison of search traffic"
+Y_LABEL = "mean messages per query"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "Y_LABEL", "extract", "figure_series", "render"]
+
+
+def extract(series: MetricSeries) -> BucketedSeries:
+    """The figure's y-series for one protocol run."""
+    return series.search_traffic
+
+
+def figure_series(result: ComparisonResult) -> Dict[str, List[float]]:
+    """Windowed per-bucket means for every protocol (the plotted lines)."""
+    return {
+        name: extract(run.series).windowed_means()
+        for name, run in result.runs.items()
+    }
+
+
+def render(result: ComparisonResult) -> str:
+    """The figure as an ASCII table (x = #queries)."""
+    return format_series_table(
+        x_label="#queries",
+        x_values=result.bucket_edges(),
+        series=figure_series(result),
+        title=f"{TITLE} [{Y_LABEL}]",
+    )

@@ -1,0 +1,46 @@
+"""Figure 4 — comparison of success rate.
+
+"We measure how much Locaware looses in terms of success rate, i.e.,
+the rate of queries successfully satisfied to all submitted queries"
+(§5.2).  Expected shape: flooding wins (maximal scope); Locaware
+substantially compensates over Dicas (+23%) and Dicas-Keys (+33%)
+thanks to multi-provider indexes and real keyword support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.collectors import MetricSeries
+from ..analysis.tables import format_series_table
+from ..sim.metrics import BucketedSeries
+from .runner import ComparisonResult
+
+EXPERIMENT_ID = "fig4"
+TITLE = "Figure 4: Comparison of success rate"
+Y_LABEL = "success rate (fraction of submitted queries satisfied)"
+
+__all__ = ["EXPERIMENT_ID", "TITLE", "Y_LABEL", "extract", "figure_series", "render"]
+
+
+def extract(series: MetricSeries) -> BucketedSeries:
+    """The figure's y-series for one protocol run."""
+    return series.success_rate
+
+
+def figure_series(result: ComparisonResult) -> Dict[str, List[float]]:
+    """Windowed per-bucket success rates for every protocol."""
+    return {
+        name: extract(run.series).windowed_means()
+        for name, run in result.runs.items()
+    }
+
+
+def render(result: ComparisonResult) -> str:
+    """The figure as an ASCII table (x = #queries)."""
+    return format_series_table(
+        x_label="#queries",
+        x_values=result.bucket_edges(),
+        series=figure_series(result),
+        title=f"{TITLE} [{Y_LABEL}]",
+    )

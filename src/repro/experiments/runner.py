@@ -1,0 +1,213 @@
+"""Experiment driver: build → run → measure, per protocol.
+
+:func:`run_protocol` executes one protocol under one configuration and
+query horizon; :func:`run_comparison` executes the paper's full
+four-way comparison on the *identical* workload (same seed → same
+topology, same catalog, same query stream) and returns everything the
+figures need.
+
+The driver advances virtual time in bounded slices until the workload
+has been fully generated and every in-flight query has been finalised;
+background processes (Bloom pushes, churn) would otherwise keep the
+event queue alive forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from ..analysis.collectors import (
+    MetricSeries,
+    OutcomeSummary,
+    collect_series,
+    summarize_outcomes,
+)
+from ..core.locaware import LocawareProtocol
+from ..overlay.churn import ChurnProcess
+from ..overlay.network import P2PNetwork
+from ..protocols.base import QueryOutcome, SearchProtocol
+from ..protocols.dicas import DicasProtocol
+from ..protocols.dicas_keys import DicasKeysProtocol
+from ..protocols.flooding import FloodingProtocol
+from ..sim.config import SimulationConfig
+from ..sim.tracing import Tracer
+from ..workload.generator import QueryWorkload
+from ..workload.shifting import ShiftingZipfWorkload
+
+__all__ = [
+    "PROTOCOL_REGISTRY",
+    "DEFAULT_PROTOCOL_ORDER",
+    "ProtocolRun",
+    "ComparisonResult",
+    "run_protocol",
+    "run_comparison",
+]
+
+#: name → protocol class, in the paper's presentation order.
+PROTOCOL_REGISTRY: Dict[str, Type[SearchProtocol]] = {
+    "flooding": FloodingProtocol,
+    "dicas": DicasProtocol,
+    "dicas-keys": DicasKeysProtocol,
+    "locaware": LocawareProtocol,
+}
+
+DEFAULT_PROTOCOL_ORDER = ("flooding", "dicas", "dicas-keys", "locaware")
+
+#: Virtual-time slice per driver iteration (seconds).
+_TIME_SLICE_S = 500.0
+#: Hard cap on driver iterations (protects against scheduling bugs).
+_MAX_SLICES = 1_000_000
+
+
+@dataclass
+class ProtocolRun:
+    """Everything measured from one protocol's run."""
+
+    protocol_name: str
+    config: SimulationConfig
+    outcomes: List[QueryOutcome]
+    summary: OutcomeSummary
+    series: MetricSeries
+    locally_satisfied: int
+    sim_time_s: float
+    events_processed: int
+    metric_snapshot: Dict[str, float]
+
+
+@dataclass
+class ComparisonResult:
+    """The four-way comparison backing Figures 2-4."""
+
+    config: SimulationConfig
+    max_queries: int
+    bucket_width: int
+    runs: Dict[str, ProtocolRun] = field(default_factory=dict)
+
+    def bucket_edges(self) -> List[int]:
+        """Common x-axis across protocols (longest run wins)."""
+        edges: List[int] = []
+        for run in self.runs.values():
+            candidate = run.series.bucket_edges()
+            if len(candidate) > len(edges):
+                edges = candidate
+        return edges
+
+    def summaries(self) -> Dict[str, OutcomeSummary]:
+        """Per-protocol whole-run aggregates, keyed by protocol name."""
+        return {name: run.summary for name, run in self.runs.items()}
+
+    def series(self) -> Dict[str, MetricSeries]:
+        """Per-protocol figure series, keyed by protocol name."""
+        return {name: run.series for name, run in self.runs.items()}
+
+
+def make_protocol(
+    name: str, network: P2PNetwork, location_aware_routing: bool = False
+) -> SearchProtocol:
+    """Instantiate a registered protocol on ``network``."""
+    try:
+        cls = PROTOCOL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; known: {sorted(PROTOCOL_REGISTRY)}"
+        ) from None
+    if cls is LocawareProtocol:
+        return LocawareProtocol(network, location_aware_routing=location_aware_routing)
+    return cls(network)
+
+
+def run_protocol(
+    config: SimulationConfig,
+    protocol_name: str,
+    max_queries: int,
+    bucket_width: int,
+    tracer: Optional[Tracer] = None,
+    location_aware_routing: bool = False,
+    popularity_shift_s: Optional[float] = None,
+) -> ProtocolRun:
+    """Run one protocol to completion and collect its metrics.
+
+    ``popularity_shift_s`` switches the workload to
+    :class:`~repro.workload.shifting.ShiftingZipfWorkload` with the
+    given re-draw interval (the drift extension).
+    """
+    if max_queries < 1:
+        raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+    network = P2PNetwork.build(config, tracer=tracer)
+    protocol = make_protocol(
+        protocol_name, network, location_aware_routing=location_aware_routing
+    )
+    protocol.start()
+    if config.churn_enabled:
+        churn = ChurnProcess(
+            network,
+            config.mean_session_s,
+            config.mean_downtime_s,
+            network.streams.stream("churn"),
+            on_rejoin=lambda pid: protocol.init_peer(network.peer(pid)),
+        )
+        churn.start()
+    if popularity_shift_s is not None:
+        workload: QueryWorkload = ShiftingZipfWorkload(
+            network,
+            protocol.issue_query,
+            shift_interval_s=popularity_shift_s,
+            max_queries=max_queries,
+        )
+    else:
+        workload = QueryWorkload(
+            network, protocol.issue_query, max_queries=max_queries
+        )
+    workload.start()
+    _drive(network, protocol, workload, max_queries)
+    stop = getattr(protocol, "stop", None)
+    if callable(stop):
+        stop()
+    return ProtocolRun(
+        protocol_name=protocol_name,
+        config=config,
+        outcomes=list(protocol.outcomes),
+        summary=summarize_outcomes(protocol.outcomes),
+        series=collect_series(protocol.outcomes, bucket_width),
+        locally_satisfied=protocol.local_satisfactions,
+        sim_time_s=network.sim.now,
+        events_processed=network.sim.events_processed,
+        metric_snapshot=network.metrics.snapshot(),
+    )
+
+
+def _drive(
+    network: P2PNetwork,
+    protocol: SearchProtocol,
+    workload: QueryWorkload,
+    max_queries: int,
+) -> None:
+    """Advance time until the workload is generated and settled."""
+    for _ in range(_MAX_SLICES):
+        if workload.generated >= max_queries and protocol.pending_queries == 0:
+            return
+        if network.sim.peek_time() is None:
+            return
+        network.sim.run(until=network.sim.now + _TIME_SLICE_S)
+    raise RuntimeError(
+        "simulation did not settle; check for runaway event scheduling"
+    )
+
+
+def run_comparison(
+    config: SimulationConfig,
+    max_queries: int,
+    bucket_width: int,
+    protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ComparisonResult:
+    """Run every requested protocol on the identical workload."""
+    result = ComparisonResult(
+        config=config, max_queries=max_queries, bucket_width=bucket_width
+    )
+    for name in protocols:
+        if progress is not None:
+            progress(f"running {name} ({max_queries} queries)...")
+        result.runs[name] = run_protocol(config, name, max_queries, bucket_width)
+    return result

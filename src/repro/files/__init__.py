@@ -1,0 +1,15 @@
+"""File-sharing substrate: keyword vocabulary, file pool, per-peer stores."""
+
+from .catalog import FileCatalog, FileRecord
+from .keywords import KeywordPool, canonical_form, join_keywords, tokenize_filename
+from .storage import FileStore
+
+__all__ = [
+    "KeywordPool",
+    "join_keywords",
+    "tokenize_filename",
+    "canonical_form",
+    "FileCatalog",
+    "FileRecord",
+    "FileStore",
+]

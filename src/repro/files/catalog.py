@@ -1,0 +1,166 @@
+"""The shared-file pool (catalog) and query/file matching rules.
+
+A :class:`FileCatalog` is the global universe of files that exist in
+the simulated community: the paper's "pool of 3000" filenames, each
+formed of 3 keywords from a 9000-keyword pool.  Files are identified by
+a dense integer ``file_id``; the catalog maps ids to keyword sets and
+canonical filename strings, and answers the matching question at the
+heart of keyword search (§3.1):
+
+    a query ``q`` is satisfied by a file ``f`` iff every keyword of
+    ``q`` is a keyword of ``f``.
+
+The catalog also maintains a global inverted index (keyword → file
+ids), used by peers' local stores and by tests that need ground truth
+about which files can possibly satisfy a query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .keywords import KeywordPool, join_keywords
+
+__all__ = ["FileRecord", "FileCatalog"]
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """One file of the shared pool."""
+
+    file_id: int
+    filename: str
+    keywords: FrozenSet[str]
+
+    def matches_keywords(self, query_keywords: Iterable[str]) -> bool:
+        """Whether every query keyword appears in this filename (§3.1)."""
+        return all(kw in self.keywords for kw in query_keywords)
+
+
+class FileCatalog:
+    """The universe of shareable files.
+
+    Filenames are guaranteed distinct: generation re-draws keyword
+    combinations until unseen (with pools as sparse as the paper's —
+    C(9000, 3) ≈ 1.2 · 10¹¹ combinations for 3000 files — re-draws are
+    vanishingly rare, but the guarantee matters for correctness).
+    """
+
+    def __init__(self, records: Sequence[FileRecord], pool: KeywordPool) -> None:
+        if not records:
+            raise ValueError("a catalog needs at least one file")
+        self._records = list(records)
+        self._pool = pool
+        self._by_filename: Dict[str, FileRecord] = {}
+        self._inverted: Dict[str, Set[int]] = {}
+        for record in self._records:
+            if record.filename in self._by_filename:
+                raise ValueError(f"duplicate filename {record.filename!r} in catalog")
+            self._by_filename[record.filename] = record
+            for kw in record.keywords:
+                self._inverted.setdefault(kw, set()).add(record.file_id)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        num_files: int,
+        keywords_per_file: int,
+        pool: KeywordPool,
+        rng: random.Random,
+    ) -> "FileCatalog":
+        """Generate the paper's file pool (distinct keyword combinations)."""
+        if num_files < 1:
+            raise ValueError(f"num_files must be >= 1, got {num_files}")
+        seen: Set[FrozenSet[str]] = set()
+        records: List[FileRecord] = []
+        attempts_left = num_files * 100
+        while len(records) < num_files:
+            if attempts_left <= 0:
+                raise ValueError(
+                    "could not generate enough distinct filenames; "
+                    "keyword pool too small for the requested catalog"
+                )
+            attempts_left -= 1
+            keywords = frozenset(pool.sample_filename_keywords(keywords_per_file, rng))
+            if len(keywords) != keywords_per_file or keywords in seen:
+                continue
+            seen.add(keywords)
+            file_id = len(records)
+            records.append(
+                FileRecord(
+                    file_id=file_id,
+                    filename=join_keywords(sorted(keywords)),
+                    keywords=keywords,
+                )
+            )
+        return cls(records, pool)
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """Number of files in the pool."""
+        return len(self._records)
+
+    @property
+    def keyword_pool(self) -> KeywordPool:
+        """The vocabulary the catalog draws from."""
+        return self._pool
+
+    def record(self, file_id: int) -> FileRecord:
+        """The record for ``file_id``."""
+        return self._records[file_id]
+
+    def filename(self, file_id: int) -> str:
+        """Canonical filename string of ``file_id``."""
+        return self._records[file_id].filename
+
+    def keywords(self, file_id: int) -> FrozenSet[str]:
+        """Keyword set of ``file_id``."""
+        return self._records[file_id].keywords
+
+    def by_filename(self, filename: str) -> Optional[FileRecord]:
+        """The record with this exact filename, or ``None``."""
+        return self._by_filename.get(filename)
+
+    def all_records(self) -> List[FileRecord]:
+        """A copy of every record, in file-id order."""
+        return list(self._records)
+
+    # -- matching -----------------------------------------------------------
+
+    def matching_files(self, query_keywords: Iterable[str]) -> Set[int]:
+        """Ground truth: ids of every file satisfying the query.
+
+        Intersects inverted-index posting lists, smallest first.
+        Returns the empty set when any keyword is unknown.
+        """
+        keyword_list = list(query_keywords)
+        if not keyword_list:
+            return set()
+        postings: List[Set[int]] = []
+        for kw in keyword_list:
+            posting = self._inverted.get(kw)
+            if not posting:
+                return set()
+            postings.append(posting)
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def file_matches(self, file_id: int, query_keywords: Iterable[str]) -> bool:
+        """Whether the given file satisfies the query."""
+        return self._records[file_id].matches_keywords(query_keywords)
+
+    def keyword_document_frequency(self, keyword: str) -> int:
+        """How many catalog files contain ``keyword``."""
+        posting = self._inverted.get(keyword)
+        return len(posting) if posting else 0

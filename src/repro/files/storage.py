@@ -1,0 +1,98 @@
+"""Per-peer shared-file storage with a local inverted keyword index.
+
+Every peer shares a set of files: its initial endowment (3 random files
+in the paper's setup) plus every file it successfully downloads —
+that is the *natural replication* Locaware leverages (§4.1.2).  The
+store indexes its contents by keyword so that the per-message local
+lookup done by every protocol ("can I satisfy this query from my own
+files?", §3.1) is proportional to the smallest posting list rather
+than to the store size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .catalog import FileCatalog
+
+__all__ = ["FileStore"]
+
+
+class FileStore:
+    """The set of files a single peer currently shares."""
+
+    def __init__(self, catalog: FileCatalog) -> None:
+        self._catalog = catalog
+        self._files: Set[int] = set()
+        self._inverted: Dict[str, Set[int]] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of files currently shared."""
+        return len(self._files)
+
+    def file_ids(self) -> Set[int]:
+        """A copy of the shared file-id set."""
+        return set(self._files)
+
+    def contains(self, file_id: int) -> bool:
+        """Whether ``file_id`` is currently shared."""
+        return file_id in self._files
+
+    def add(self, file_id: int) -> bool:
+        """Share ``file_id``.  Returns ``False`` if it was already shared."""
+        if file_id in self._files:
+            return False
+        self._files.add(file_id)
+        for kw in self._catalog.keywords(file_id):
+            self._inverted.setdefault(kw, set()).add(file_id)
+        return True
+
+    def add_many(self, file_ids: Iterable[int]) -> int:
+        """Share several files; returns how many were newly added."""
+        return sum(1 for fid in file_ids if self.add(fid))
+
+    def remove(self, file_id: int) -> bool:
+        """Stop sharing ``file_id``.  Returns ``False`` if absent."""
+        if file_id not in self._files:
+            return False
+        self._files.discard(file_id)
+        for kw in self._catalog.keywords(file_id):
+            posting = self._inverted.get(kw)
+            if posting is not None:
+                posting.discard(file_id)
+                if not posting:
+                    del self._inverted[kw]
+        return True
+
+    def clear(self) -> None:
+        """Drop every shared file (peer departure)."""
+        self._files.clear()
+        self._inverted.clear()
+
+    def matching_files(self, query_keywords: Iterable[str]) -> Set[int]:
+        """Locally shared files satisfying the query (all keywords present)."""
+        keyword_list = list(query_keywords)
+        if not keyword_list:
+            return set()
+        postings: List[Set[int]] = []
+        for kw in keyword_list:
+            posting = self._inverted.get(kw)
+            if not posting:
+                return set()
+            postings.append(posting)
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def first_match(self, query_keywords: Iterable[str]) -> Optional[int]:
+        """Any one locally shared file satisfying the query, or ``None``.
+
+        Deterministic: returns the smallest matching file id.
+        """
+        matches = self.matching_files(query_keywords)
+        return min(matches) if matches else None

@@ -1,0 +1,30 @@
+"""Physical underlay substrate: coordinates, latencies, landmarks.
+
+Reproduces the BRITE-inspired network model of §5.1 (10–500 ms link
+latencies) and the landmark/locId machinery of §4.1.1.
+"""
+
+from .coordinates import Point, clustered_points, max_pairwise_distance, random_points
+from .landmarks import (
+    LandmarkSet,
+    locid_to_permutation,
+    permutation_to_locid,
+    rtt_ordering,
+)
+from .latency import EuclideanLatencyModel, LatencyModel, RouterLevelLatencyModel
+from .underlay import Underlay
+
+__all__ = [
+    "Point",
+    "random_points",
+    "clustered_points",
+    "max_pairwise_distance",
+    "LatencyModel",
+    "EuclideanLatencyModel",
+    "RouterLevelLatencyModel",
+    "LandmarkSet",
+    "permutation_to_locid",
+    "locid_to_permutation",
+    "rtt_ordering",
+    "Underlay",
+]

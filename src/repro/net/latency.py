@@ -1,0 +1,242 @@
+"""Latency models mapping peer placement to link latencies.
+
+The paper (§5.1) generates "an underlying topology of peers connected
+with links of variable latencies; the model inspired by BRITE assigns
+latencies between 10 and 500 ms".  Two models implement that contract:
+
+- :class:`EuclideanLatencyModel` — one-way latency is an affine
+  function of the distance between the two endpoints' coordinates,
+  scaled into ``[min_latency, max_latency]``.  Fast (O(1) per query),
+  respects the triangle inequality, and geographically coherent, which
+  is exactly what landmark clustering (§4.1.1) needs.  This is the
+  default model.
+
+- :class:`RouterLevelLatencyModel` — a Waxman random graph over router
+  nodes (the actual BRITE flat-router model) with per-edge latencies
+  from edge length; peer-to-peer latency is the shortest-path latency
+  through the router network.  Closer to BRITE's output, but O(V·E)
+  to precompute; useful for validating that results do not depend on
+  the metric-space simplification.
+
+Latencies are returned in **milliseconds** and are *one-way*; RTTs are
+twice the one-way latency (symmetric links).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .coordinates import UNIT_SQUARE_DIAMETER, Point
+
+__all__ = ["LatencyModel", "EuclideanLatencyModel", "RouterLevelLatencyModel"]
+
+
+class LatencyModel:
+    """Interface: one-way latency in milliseconds between two points."""
+
+    def latency_ms(self, a: Point, b: Point) -> float:
+        """One-way latency between positions ``a`` and ``b``."""
+        raise NotImplementedError
+
+    def rtt_ms(self, a: Point, b: Point) -> float:
+        """Round-trip time between ``a`` and ``b`` (symmetric links)."""
+        return 2.0 * self.latency_ms(a, b)
+
+
+class EuclideanLatencyModel(LatencyModel):
+    """Distance-proportional latencies in ``[min_latency, max_latency]``.
+
+    ``latency(a, b) = min + (max - min) * distance(a, b) / diameter``
+
+    Identical positions get the minimum latency (two peers in the same
+    campus still cross a 10 ms access link); antipodal corners get the
+    maximum.
+    """
+
+    def __init__(self, min_latency_ms: float = 10.0, max_latency_ms: float = 500.0) -> None:
+        if min_latency_ms <= 0:
+            raise ValueError(f"min_latency_ms must be positive, got {min_latency_ms}")
+        if max_latency_ms < min_latency_ms:
+            raise ValueError(
+                f"max_latency_ms ({max_latency_ms}) must be >= min_latency_ms ({min_latency_ms})"
+            )
+        self.min_latency_ms = min_latency_ms
+        self.max_latency_ms = max_latency_ms
+        self._span = max_latency_ms - min_latency_ms
+
+    def latency_ms(self, a: Point, b: Point) -> float:
+        distance = a.distance_to(b)
+        return self.min_latency_ms + self._span * (distance / UNIT_SQUARE_DIAMETER)
+
+
+class RouterLevelLatencyModel(LatencyModel):
+    """BRITE-style flat-router Waxman graph with shortest-path latencies.
+
+    ``num_routers`` routers are placed uniformly in the unit square and
+    joined by a Waxman random graph: routers ``u, v`` are linked with
+    probability ``alpha * exp(-d(u, v) / (beta * L))`` where ``L`` is
+    the plane diameter.  Extra edges are added if needed to make the
+    graph connected.  Each edge's latency is the Euclidean model's
+    latency for its endpoints, scaled so that typical *end-to-end*
+    shortest paths span the requested ``[min, max]`` range.
+
+    A peer attaches to its nearest router (plus a last-mile latency for
+    the access link), and peer-to-peer latency is last-mile + shortest
+    router path + last-mile.
+
+    All-pairs router distances are precomputed with Dijkstra per router
+    (O(R · E log R)); keep ``num_routers`` modest (the default 64 is
+    plenty for 1000 peers).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        num_routers: int = 64,
+        alpha: float = 0.4,
+        beta: float = 0.35,
+        min_latency_ms: float = 10.0,
+        max_latency_ms: float = 500.0,
+        last_mile_ms: float = 5.0,
+    ) -> None:
+        if num_routers < 2:
+            raise ValueError(f"num_routers must be >= 2, got {num_routers}")
+        if not (0 < alpha <= 1):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if min_latency_ms <= 0 or max_latency_ms < min_latency_ms:
+            raise ValueError("latency bounds must satisfy 0 < min <= max")
+        self.min_latency_ms = min_latency_ms
+        self.max_latency_ms = max_latency_ms
+        self.last_mile_ms = last_mile_ms
+        self._routers = [Point(rng.random(), rng.random()) for _ in range(num_routers)]
+        edges = self._waxman_edges(rng, alpha, beta)
+        self._adjacency = self._build_adjacency(num_routers, edges)
+        self._ensure_connected(rng)
+        self._dist = self._all_pairs_shortest_paths()
+        self._rescale_distances()
+
+    # -- graph construction ----------------------------------------------
+
+    def _waxman_edges(
+        self, rng: random.Random, alpha: float, beta: float
+    ) -> List[Tuple[int, int, float]]:
+        edges: List[Tuple[int, int, float]] = []
+        n = len(self._routers)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = self._routers[i].distance_to(self._routers[j])
+                p = alpha * math.exp(-d / (beta * UNIT_SQUARE_DIAMETER))
+                if rng.random() < p:
+                    edges.append((i, j, d))
+        return edges
+
+    @staticmethod
+    def _build_adjacency(
+        n: int, edges: List[Tuple[int, int, float]]
+    ) -> List[List[Tuple[int, float]]]:
+        adjacency: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for i, j, d in edges:
+            adjacency[i].append((j, d))
+            adjacency[j].append((i, d))
+        return adjacency
+
+    def _ensure_connected(self, rng: random.Random) -> None:
+        """Join disconnected components with their closest router pairs."""
+        n = len(self._routers)
+        component = [-1] * n
+        comp_id = 0
+        for start in range(n):
+            if component[start] != -1:
+                continue
+            stack = [start]
+            component[start] = comp_id
+            while stack:
+                u = stack.pop()
+                for v, _d in self._adjacency[u]:
+                    if component[v] == -1:
+                        component[v] = comp_id
+                        stack.append(v)
+            comp_id += 1
+        while comp_id > 1:
+            # Connect component 0 with the nearest router of any other component.
+            best: Optional[Tuple[float, int, int]] = None
+            for u in range(n):
+                if component[u] != 0:
+                    continue
+                for v in range(n):
+                    if component[v] == 0:
+                        continue
+                    d = self._routers[u].distance_to(self._routers[v])
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+            assert best is not None  # comp_id > 1 guarantees another component
+            d, u, v = best
+            self._adjacency[u].append((v, d))
+            self._adjacency[v].append((u, d))
+            merged = component[v]
+            component = [0 if c == merged else c for c in component]
+            # Re-number remaining components densely.
+            remaining = sorted(set(component))
+            renumber = {old: new for new, old in enumerate(remaining)}
+            component = [renumber[c] for c in component]
+            comp_id = len(remaining)
+
+    def _all_pairs_shortest_paths(self) -> List[List[float]]:
+        n = len(self._routers)
+        dist: List[List[float]] = []
+        for source in range(n):
+            d = [math.inf] * n
+            d[source] = 0.0
+            heap: List[Tuple[float, int]] = [(0.0, source)]
+            while heap:
+                du, u = heapq.heappop(heap)
+                if du > d[u]:
+                    continue
+                for v, w in self._adjacency[u]:
+                    nd = du + w
+                    if nd < d[v]:
+                        d[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            dist.append(d)
+        return dist
+
+    def _rescale_distances(self) -> None:
+        """Map router-path distances onto the configured latency range."""
+        finite = [
+            d for row in self._dist for d in row if d > 0 and math.isfinite(d)
+        ]
+        longest = max(finite) if finite else 1.0
+        span = self.max_latency_ms - self.min_latency_ms
+        scale = span / longest if longest > 0 else 0.0
+        self._dist = [
+            [d * scale if math.isfinite(d) else math.inf for d in row] for row in self._dist
+        ]
+
+    # -- queries ----------------------------------------------------------------
+
+    def nearest_router(self, p: Point) -> int:
+        """Index of the router closest to position ``p``."""
+        best_idx = 0
+        best_d = math.inf
+        for idx, router in enumerate(self._routers):
+            d = p.distance_to(router)
+            if d < best_d:
+                best_d = d
+                best_idx = idx
+        return best_idx
+
+    def latency_ms(self, a: Point, b: Point) -> float:
+        ra = self.nearest_router(a)
+        rb = self.nearest_router(b)
+        backbone = self._dist[ra][rb]
+        return self.min_latency_ms + 2.0 * self.last_mile_ms + backbone
+
+    @property
+    def num_routers(self) -> int:
+        """Number of routers in the backbone graph."""
+        return len(self._routers)

@@ -1,0 +1,19 @@
+"""Unstructured P2P overlay substrate: graph, peers, messages, churn."""
+
+from .churn import ChurnProcess
+from .graph import OverlayGraph
+from .messages import BloomUpdate, ProviderEntry, Query, QueryResponse
+from .network import P2PNetwork
+from .peer import BoundedSet, Peer
+
+__all__ = [
+    "OverlayGraph",
+    "Peer",
+    "BoundedSet",
+    "ProviderEntry",
+    "Query",
+    "QueryResponse",
+    "BloomUpdate",
+    "P2PNetwork",
+    "ChurnProcess",
+]

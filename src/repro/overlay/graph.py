@@ -1,0 +1,195 @@
+"""Unstructured overlay graph construction and maintenance.
+
+§3.1 of the paper: "each peer joins the network by establishing logical
+links to randomly chosen peers ... the neighborhood of a peer is set
+without knowledge of the underlying topology".  We reproduce that with
+an Erdős–Rényi-style random graph targeting the paper's mean degree
+(3), then patch connectivity: every component is linked into the giant
+component with one random edge, so queries are not artificially
+partitioned away from their results (PeerSim's wiring protocols do the
+same).
+
+The graph is mutable — churn adds and removes peers at runtime — and
+maintains degree bookkeeping so protocols can ask for the
+"highly connected neighbor" fallback of §4.2 in O(neighbors).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["OverlayGraph"]
+
+
+class OverlayGraph:
+    """An undirected overlay graph over integer peer ids."""
+
+    def __init__(self, num_peers: int) -> None:
+        if num_peers < 0:
+            raise ValueError(f"num_peers must be non-negative, got {num_peers}")
+        self._adjacency: Dict[int, Set[int]] = {pid: set() for pid in range(num_peers)}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        num_peers: int,
+        mean_degree: float,
+        rng: random.Random,
+        connect_components: bool = True,
+    ) -> "OverlayGraph":
+        """Build the paper's random overlay with the target mean degree."""
+        if num_peers < 2:
+            raise ValueError(f"need at least 2 peers, got {num_peers}")
+        if mean_degree <= 0 or mean_degree >= num_peers:
+            raise ValueError(
+                f"mean_degree must be in (0, num_peers), got {mean_degree}"
+            )
+        graph = cls(num_peers)
+        # G(n, M) variant: exactly round(n * d / 2) distinct edges, which
+        # pins the realised mean degree to the target.
+        target_edges = round(num_peers * mean_degree / 2.0)
+        max_edges = num_peers * (num_peers - 1) // 2
+        target_edges = min(target_edges, max_edges)
+        added = 0
+        while added < target_edges:
+            a = rng.randrange(num_peers)
+            b = rng.randrange(num_peers)
+            if a == b or b in graph._adjacency[a]:
+                continue
+            graph._add_edge(a, b)
+            added += 1
+        if connect_components:
+            graph._connect_components(rng)
+        return graph
+
+    def _add_edge(self, a: int, b: int) -> None:
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def _connect_components(self, rng: random.Random) -> None:
+        components = self.components()
+        if len(components) <= 1:
+            return
+        components.sort(key=len, reverse=True)
+        giant = components[0]
+        giant_list = sorted(giant)
+        for component in components[1:]:
+            a = rng.choice(sorted(component))
+            b = rng.choice(giant_list)
+            self._add_edge(a, b)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers currently in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def peers(self) -> List[int]:
+        """All peer ids, sorted."""
+        return sorted(self._adjacency)
+
+    def contains(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` is currently in the graph."""
+        return peer_id in self._adjacency
+
+    def neighbors(self, peer_id: int) -> Set[int]:
+        """A copy of ``peer_id``'s neighbor set."""
+        return set(self._adjacency[peer_id])
+
+    def neighbors_view(self, peer_id: int) -> Set[int]:
+        """The *live* neighbor set (do not mutate); avoids copies on hot paths."""
+        return self._adjacency[peer_id]
+
+    def degree(self, peer_id: int) -> int:
+        """Number of neighbors of ``peer_id``."""
+        return len(self._adjacency[peer_id])
+
+    def mean_degree(self) -> float:
+        """Realised average degree."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self.num_edges / len(self._adjacency)
+
+    def highest_degree_neighbor(self, peer_id: int) -> Optional[int]:
+        """The §4.2 'highly connected neighbor' fallback target.
+
+        Ties break towards the smallest id for determinism.  ``None``
+        when the peer has no neighbors.
+        """
+        best: Optional[int] = None
+        best_degree = -1
+        for neighbor in sorted(self._adjacency[peer_id]):
+            d = len(self._adjacency[neighbor])
+            if d > best_degree:
+                best = neighbor
+                best_degree = d
+        return best
+
+    def components(self) -> List[Set[int]]:
+        """Connected components as peer-id sets."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            component = {start}
+            seen.add(start)
+            while stack:
+                u = stack.pop()
+                for v in self._adjacency[u]:
+                    if v not in component:
+                        component.add(v)
+                        seen.add(v)
+                        stack.append(v)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph forms a single component."""
+        return len(self.components()) <= 1
+
+    # -- mutation (churn) ----------------------------------------------------
+
+    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> List[int]:
+        """(Re)join ``peer_id`` with ``num_links`` random neighbors (§3.1).
+
+        Returns the chosen neighbor ids.  Joining an existing id is an
+        error; pick ids with :meth:`contains` first.
+        """
+        if peer_id in self._adjacency:
+            raise ValueError(f"peer {peer_id} already in the overlay")
+        candidates = sorted(self._adjacency)
+        self._adjacency[peer_id] = set()
+        if not candidates:
+            return []
+        chosen = rng.sample(candidates, min(num_links, len(candidates)))
+        for neighbor in chosen:
+            self._add_edge(peer_id, neighbor)
+        return chosen
+
+    def remove_peer(self, peer_id: int) -> Set[int]:
+        """Remove ``peer_id`` and its links; returns its former neighbors."""
+        neighbors = self._adjacency.pop(peer_id, None)
+        if neighbors is None:
+            raise KeyError(f"peer {peer_id} not in the overlay")
+        for neighbor in neighbors:
+            self._adjacency[neighbor].discard(peer_id)
+        return neighbors
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map degree -> number of peers with that degree."""
+        histogram: Dict[int, int] = {}
+        for neighbors in self._adjacency.values():
+            d = len(neighbors)
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram

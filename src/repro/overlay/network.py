@@ -1,0 +1,216 @@
+"""The assembled P2P system: peers + overlay + underlay + event engine.
+
+:class:`P2PNetwork` is the object protocols operate on.  It owns
+
+- the :class:`~repro.sim.engine.Simulator` (virtual time),
+- the :class:`~repro.net.underlay.Underlay` (latencies, locIds),
+- the :class:`~repro.overlay.graph.OverlayGraph` (who is linked to whom),
+- the :class:`~repro.overlay.peer.Peer` population, and
+- message delivery: :meth:`send` schedules a handler invocation on the
+  destination peer after the underlay latency of the link, and counts
+  the message (per query when a ``query_id`` is given — the paper's
+  search-traffic metric is "total number of messages produced by a
+  query", §5.2).
+
+Messages to dead peers are delivered nowhere but still count as sent —
+bandwidth is consumed regardless of whether the destination is up.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..files.catalog import FileCatalog
+from ..files.keywords import KeywordPool
+from ..files.storage import FileStore
+from ..net.underlay import Underlay
+from ..sim.config import SimulationConfig
+from ..sim.engine import Simulator
+from ..sim.metrics import MetricRegistry
+from ..sim.rng import RandomStreams
+from ..sim.tracing import NullTracer, Tracer
+from .graph import OverlayGraph
+from .peer import Peer
+
+__all__ = ["P2PNetwork"]
+
+
+class P2PNetwork:
+    """Everything a protocol needs to run one simulated system."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        sim: Simulator,
+        underlay: Underlay,
+        graph: OverlayGraph,
+        peers: List[Peer],
+        catalog: FileCatalog,
+        streams: RandomStreams,
+        metrics: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.underlay = underlay
+        self.graph = graph
+        self.peers = peers
+        self.catalog = catalog
+        self.streams = streams
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._per_query_messages: Dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: SimulationConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> "P2PNetwork":
+        """Assemble the paper's system from a configuration.
+
+        Deterministic for a given ``config.seed``: topology, landmark
+        ids, group ids, catalog, and initial shares each draw from
+        their own named stream.
+        """
+        streams = RandomStreams(config.seed)
+        sim = Simulator()
+        if config.latency_model == "router":
+            from ..net.latency import RouterLevelLatencyModel
+
+            model = RouterLevelLatencyModel(
+                streams.stream("router-topology"),
+                min_latency_ms=config.min_latency_ms,
+                max_latency_ms=config.max_latency_ms,
+            )
+        else:
+            model = None  # Underlay.build defaults to the Euclidean model
+        underlay = Underlay.build(
+            config.num_peers,
+            streams.stream("underlay"),
+            min_latency_ms=config.min_latency_ms,
+            max_latency_ms=config.max_latency_ms,
+            num_landmarks=config.num_landmarks,
+            clustered=(config.peer_placement == "clustered"),
+            model=model,
+        )
+        graph = OverlayGraph.random(
+            config.num_peers, config.mean_degree, streams.stream("overlay")
+        )
+        pool = KeywordPool(config.keyword_pool_size)
+        catalog = FileCatalog.generate(
+            config.num_files,
+            config.keywords_per_file,
+            pool,
+            streams.stream("catalog"),
+        )
+        gid_rng = streams.stream("gids")
+        share_rng = streams.stream("shares")
+        peers: List[Peer] = []
+        for pid in range(config.num_peers):
+            store = FileStore(catalog)
+            store.add_many(
+                share_rng.sample(range(config.num_files), config.files_per_peer)
+            )
+            peers.append(
+                Peer(
+                    peer_id=pid,
+                    locid=underlay.locid_of(pid),
+                    gid=gid_rng.randrange(config.group_count),
+                    store=store,
+                )
+            )
+        return cls(
+            config=config,
+            sim=sim,
+            underlay=underlay,
+            graph=graph,
+            peers=peers,
+            catalog=catalog,
+            streams=streams,
+            tracer=tracer,
+        )
+
+    # -- peer access -----------------------------------------------------
+
+    def peer(self, peer_id: int) -> Peer:
+        """The peer with the given id."""
+        return self.peers[peer_id]
+
+    def alive_peer_ids(self) -> List[int]:
+        """Ids of every currently-alive peer."""
+        return [p.peer_id for p in self.peers if p.alive]
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable[[int, object], None],
+        payload: object,
+        query_id: Optional[int] = None,
+        kind: str = "message",
+    ) -> None:
+        """Ship ``payload`` from ``src`` to ``dst`` over the underlay.
+
+        ``handler(dst, payload)`` runs after the link's one-way latency
+        if the destination is alive at arrival time.  The message is
+        counted immediately (``kind`` counter, plus the per-query tally
+        when ``query_id`` is given).
+        """
+        self.metrics.counter(f"messages.{kind}").increment()
+        self.metrics.counter("messages.total").increment()
+        if query_id is not None:
+            self._per_query_messages[query_id] = (
+                self._per_query_messages.get(query_id, 0) + 1
+            )
+        delay = self.underlay.latency_s(src, dst)
+        self.sim.schedule(delay, self._deliver, dst, handler, payload)
+
+    def _deliver(
+        self, dst: int, handler: Callable[[int, object], None], payload: object
+    ) -> None:
+        if not self.peers[dst].alive:
+            self.metrics.counter("messages.dropped_dead_peer").increment()
+            return
+        handler(dst, payload)
+
+    def query_message_count(self, query_id: int) -> int:
+        """Messages attributed to ``query_id`` so far (§5.2 metric)."""
+        return self._per_query_messages.get(query_id, 0)
+
+    def charge_query_messages(self, query_id: int, count: int) -> None:
+        """Attribute ``count`` extra messages to a query's traffic tally."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._per_query_messages[query_id] = (
+            self._per_query_messages.get(query_id, 0) + count
+        )
+
+    def forget_query_messages(self, query_id: int) -> int:
+        """Pop and return the final message tally of a finished query."""
+        return self._per_query_messages.pop(query_id, 0)
+
+    # -- probes ------------------------------------------------------------
+
+    def rtt_probe_ms(
+        self, src: int, candidates: List[int], query_id: Optional[int] = None
+    ) -> Dict[int, float]:
+        """Measure RTT from ``src`` to each candidate (§5.1 adjustment:
+        requestors probe advertised providers when no locId matches).
+
+        Each probe costs one request + one reply message, charged to
+        ``query_id``'s tally when given.
+        """
+        results: Dict[int, float] = {}
+        for dst in candidates:
+            self.metrics.counter("messages.rtt_probe").increment(2)
+            self.metrics.counter("messages.total").increment(2)
+            if query_id is not None:
+                self.charge_query_messages(query_id, 2)
+            results[dst] = self.underlay.rtt_ms(src, dst)
+        return results

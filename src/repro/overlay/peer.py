@@ -1,0 +1,129 @@
+"""Peer state.
+
+A :class:`Peer` is deliberately a thin state container: identity,
+locality, group id, shared files, liveness, and a bounded
+duplicate-suppression set for query ids.  *Behaviour* lives in the
+protocol objects (:mod:`repro.protocols`, :mod:`repro.core`) so that
+the same peer population can be re-run under Flooding, Dicas,
+Dicas-Keys, or Locaware; protocol-specific state (response indexes,
+Bloom filters) is attached by each protocol's ``init_peer`` hook in its
+own namespace attribute.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Set
+
+from ..files.storage import FileStore
+
+__all__ = ["BoundedSet", "Peer"]
+
+
+class BoundedSet:
+    """An insertion-ordered set that evicts its oldest members.
+
+    Gnutella peers remember recently seen query ids to drop duplicate
+    floods; remembering *every* id forever would grow without bound, so
+    real implementations (and this one) keep a sliding window.  The
+    window must merely outlive a query's lifetime (seconds) — the
+    default capacity is generous for that.
+    """
+
+    __slots__ = ("_capacity", "_items")
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._items: "OrderedDict[Any, None]" = OrderedDict()
+
+    def add(self, item: Any) -> bool:
+        """Insert ``item``; returns ``False`` if it was already present."""
+        if item in self._items:
+            return False
+        self._items[item] = None
+        if len(self._items) > self._capacity:
+            self._items.popitem(last=False)
+        return True
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._capacity
+
+    def clear(self) -> None:
+        """Forget everything."""
+        self._items.clear()
+
+
+class Peer:
+    """One participant peer (§3.1).
+
+    Attributes
+    ----------
+    peer_id:
+        Dense integer id; doubles as the underlay coordinate index.
+    locid:
+        Landmark-ordering locality id computed at arrival (§4.1.1).
+    gid:
+        Dicas-style group id, randomly chosen in ``[0, M)`` (§3.2).
+    store:
+        The peer's shared files (initial endowment + downloads).
+    alive:
+        Churn flag; dead peers neither receive nor send.
+    protocol_state:
+        Namespace dict populated by the active protocol's ``init_peer``
+        (e.g. Locaware's response index and Bloom filters).
+    """
+
+    __slots__ = (
+        "peer_id",
+        "locid",
+        "gid",
+        "store",
+        "alive",
+        "seen_queries",
+        "protocol_state",
+    )
+
+    def __init__(
+        self,
+        peer_id: int,
+        locid: int,
+        gid: int,
+        store: FileStore,
+        seen_capacity: int = 2048,
+    ) -> None:
+        self.peer_id = peer_id
+        self.locid = locid
+        self.gid = gid
+        self.store = store
+        self.alive = True
+        self.seen_queries = BoundedSet(seen_capacity)
+        self.protocol_state: Dict[str, Any] = {}
+
+    def mark_seen(self, query_id: int) -> bool:
+        """Record a query id; ``False`` means duplicate (drop the copy)."""
+        return self.seen_queries.add(query_id)
+
+    def reset_session_state(self) -> None:
+        """Forget soft state on rejoin (caches die with the session).
+
+        The file store survives — files live on the peer's disk — but
+        duplicate-suppression and protocol caches are session-scoped.
+        """
+        self.seen_queries.clear()
+        self.protocol_state.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Peer(id={self.peer_id}, locid={self.locid}, gid={self.gid}, "
+            f"files={self.store.size}, alive={self.alive})"
+        )

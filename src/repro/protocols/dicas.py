@@ -1,0 +1,117 @@
+"""Dicas (Wang et al., TPDS 2006) — group-id index caching, filename search.
+
+Reimplemented from the Locaware paper's description (§2, §3.2, §5.1):
+
+- every peer holds a random group id ``Gid ∈ [0, M)``;
+- a passing query response for file ``f`` is cached only by reverse-path
+  peers whose ``Gid == hash(f) mod M`` (one provider per filename);
+- a query is routed to neighbors whose ``Gid`` matches the *query's*
+  group — computable exactly when the query is the whole filename.
+
+The paper evaluates Dicas under a *keyword* workload ("designed for
+filename search"): a query holding only a subset of the filename's
+keywords hashes to the wrong group, so routing is misled (§5.2) and the
+query relies on the last-resort forwarding to stumble on a hit.  That
+mismatch is what Fig 4 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..overlay.messages import ProviderEntry, Query, QueryResponse
+from ..overlay.network import P2PNetwork
+from ..overlay.peer import Peer
+from .base import SearchProtocol
+from .groups import file_group, query_group_guess
+from .index_cache import PlainIndexCache
+
+__all__ = ["DicasProtocol"]
+
+_STATE_KEY = "dicas_index"
+
+
+class DicasProtocol(SearchProtocol):
+    """Dicas: Gid-restricted caching + Gid routing on filename hashes."""
+
+    name = "dicas"
+    forward_after_hit = False  # propagation stops at a satisfying node
+
+    def init_peer(self, peer: Peer) -> None:
+        peer.protocol_state[_STATE_KEY] = PlainIndexCache(self.config.index_capacity)
+
+    def index_of(self, peer: Peer) -> PlainIndexCache:
+        """The peer's response index (creating it on demand after churn)."""
+        cache = peer.protocol_state.get(_STATE_KEY)
+        if cache is None:
+            cache = PlainIndexCache(self.config.index_capacity)
+            peer.protocol_state[_STATE_KEY] = cache
+        return cache
+
+    # -- routing ----------------------------------------------------------
+
+    def query_group(self, query: Query) -> int:
+        """The group Dicas guesses for a (possibly partial) keyword query."""
+        return query_group_guess(query.keywords, self.config.group_count)
+
+    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:
+        """Gid-matching neighbors; else one highly connected neighbor."""
+        group = self.query_group(query)
+        last_hop = query.last_hop
+        matching = [
+            neighbor
+            for neighbor in self.network.graph.neighbors_view(peer.peer_id)
+            if neighbor != last_hop and self.network.peer(neighbor).gid == group
+        ]
+        if matching:
+            return matching
+        return self._fallback_neighbors(peer, last_hop)
+
+    def _fallback_neighbors(self, peer: Peer, last_hop: int) -> List[int]:
+        """§4.2-style last resort: the best-connected other neighbors.
+
+        Up to ``config.fallback_fanout`` of them, highest degree first
+        (ties towards smaller ids), so restricted routing keeps moving
+        on sparse overlays instead of dead-ending.
+        """
+        candidates = [
+            neighbor
+            for neighbor in sorted(self.network.graph.neighbors_view(peer.peer_id))
+            if neighbor != last_hop
+        ]
+        candidates.sort(key=lambda n: -self.network.graph.degree(n))
+        return candidates[: self.config.fallback_fanout]
+
+    # -- caching ----------------------------------------------------------
+
+    def _matches_gid(self, peer: Peer, filename: str) -> bool:
+        return peer.gid == file_group(filename, self.config.group_count)
+
+    def on_response_transit(self, peer: Peer, response: QueryResponse) -> None:
+        """Cache the response at matching-Gid reverse-path peers (§3.2)."""
+        if not self._matches_gid(peer, response.filename):
+            return
+        provider = response.providers[0]
+        self.index_of(peer).put(response.filename, provider)
+        self.network.metrics.counter("index.inserts").increment()
+
+    def check_index(self, peer: Peer, query: Query) -> Optional[QueryResponse]:
+        hit = self.index_of(peer).lookup(query.keywords)
+        if hit is None:
+            return None
+        filename, provider = hit
+        record = self.network.catalog.by_filename(filename)
+        if record is None:
+            return None
+        self.network.metrics.counter("index.hits").increment()
+        return QueryResponse(
+            query_id=query.query_id,
+            origin=query.origin,
+            origin_locid=query.origin_locid,
+            keywords=query.keywords,
+            file_id=record.file_id,
+            filename=filename,
+            providers=(provider,),
+            responder=peer.peer_id,
+            reverse_path=tuple(reversed(query.path)),
+        )

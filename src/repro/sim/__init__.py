@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate (the PeerSim equivalent).
+
+Public surface:
+
+- :class:`Simulator`, :class:`EventHandle`, :class:`PeriodicProcess` —
+  the event loop;
+- :class:`RandomStreams` — deterministic named randomness;
+- :class:`SimulationConfig` — every knob of the reproduction, defaults
+  matching the paper's §5.1 setup;
+- metric primitives (:class:`Counter`, :class:`Summary`,
+  :class:`BucketedSeries`, :class:`MetricRegistry`);
+- tracing hooks (:class:`Tracer` and friends);
+- the :mod:`~repro.sim.errors` hierarchy.
+"""
+
+from .config import SimulationConfig
+from .engine import EventHandle, PeriodicProcess, Simulator
+from .errors import (
+    CancelledEventError,
+    ConfigurationError,
+    EventLoopError,
+    SchedulingError,
+    SimulationError,
+)
+from .metrics import BucketedSeries, Counter, MetricRegistry, Summary
+from .rng import RandomStreams, derive_seed
+from .tracing import NullTracer, PrintTracer, RecordingTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PeriodicProcess",
+    "RandomStreams",
+    "derive_seed",
+    "SimulationConfig",
+    "Counter",
+    "Summary",
+    "BucketedSeries",
+    "MetricRegistry",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "PrintTracer",
+    "TraceEvent",
+    "SimulationError",
+    "ConfigurationError",
+    "SchedulingError",
+    "EventLoopError",
+    "CancelledEventError",
+]

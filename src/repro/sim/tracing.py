@@ -1,0 +1,81 @@
+"""Structured trace hooks for debugging simulation runs.
+
+Tracing is off by default (a :class:`NullTracer` swallows everything at
+near-zero cost).  Attach a :class:`RecordingTracer` to capture events
+for assertions in tests, or a :class:`PrintTracer` to watch a run live.
+
+Trace events are ``(time, kind, payload)`` triples; ``kind`` is a short
+string such as ``"query.issue"`` or ``"cache.insert"`` and ``payload``
+is a small dict.  Protocols emit traces through the shared tracer held
+by the simulation context, so enabling tracing never changes behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "RecordingTracer", "PrintTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    kind: str
+    payload: Dict[str, Any]
+
+
+class Tracer:
+    """Interface: receives trace events.  Subclass and override :meth:`emit`."""
+
+    enabled: bool = True
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        """Handle one event.  The base class ignores it."""
+
+
+class NullTracer(Tracer):
+    """Discards every event; the default tracer."""
+
+    enabled = False
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        pass
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory, with simple query helpers for tests."""
+
+    def __init__(self, kinds: Optional[List[str]] = None) -> None:
+        self._filter = set(kinds) if kinds is not None else None
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        if self._filter is not None and kind not in self._filter:
+            return
+        self.events.append(TraceEvent(time, kind, payload))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Every recorded event with the given kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were recorded."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+
+class PrintTracer(Tracer):
+    """Writes events through a callable (default: ``print``), for debugging."""
+
+    def __init__(self, sink: Callable[[str], None] = print) -> None:
+        self._sink = sink
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        details = " ".join(f"{k}={v!r}" for k, v in payload.items())
+        self._sink(f"[{time:12.3f}] {kind:<24} {details}")

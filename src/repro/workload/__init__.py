@@ -1,0 +1,16 @@
+"""Query workload substrate: Zipf popularity, Poisson arrivals, traces."""
+
+from .generator import QueryEvent, QueryWorkload
+from .shifting import ShiftingZipfWorkload
+from .trace import TraceReplayer, parse_trace, serialize_trace
+from .zipf import ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "QueryWorkload",
+    "ShiftingZipfWorkload",
+    "QueryEvent",
+    "TraceReplayer",
+    "serialize_trace",
+    "parse_trace",
+]

@@ -1,0 +1,210 @@
+"""Unit tests for analysis: collectors, tables, claim checks."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ClaimCheck,
+    check_paper_claims,
+    collect_series,
+    format_percent,
+    format_series_table,
+    format_table,
+    relative_change,
+    summarize_outcomes,
+)
+from repro.analysis.collectors import OutcomeSummary
+from repro.protocols import QueryOutcome
+
+
+def outcome(index, success, distance=200.0, messages=10, responses=1):
+    return QueryOutcome(
+        query_id=index,
+        index=index,
+        origin=0,
+        target_file=1,
+        keywords=("kw",),
+        issued_at=0.0,
+        success=success,
+        download_distance_ms=distance if success else math.nan,
+        messages=messages,
+        responses=responses,
+        provider=5 if success else None,
+        downloaded_file=1 if success else None,
+    )
+
+
+class TestCollectSeries:
+    def test_success_rate_is_bucket_mean(self):
+        outcomes = [outcome(i, success=(i % 2 == 0)) for i in range(1, 9)]
+        series = collect_series(outcomes, bucket_width=4)
+        assert series.success_rate.windowed_means() == [0.5, 0.5]
+
+    def test_distance_only_for_successes(self):
+        outcomes = [outcome(1, True, distance=100.0), outcome(2, False)]
+        series = collect_series(outcomes, bucket_width=2)
+        assert series.download_distance.sample_count == 1
+        assert series.download_distance.windowed_means() == [100.0]
+
+    def test_traffic_counts_all_queries(self):
+        outcomes = [outcome(1, True, messages=10), outcome(2, False, messages=30)]
+        series = collect_series(outcomes, bucket_width=2)
+        assert series.search_traffic.windowed_means() == [20.0]
+
+    def test_bucket_edges_follow_indices(self):
+        outcomes = [outcome(i, True) for i in range(1, 11)]
+        series = collect_series(outcomes, bucket_width=5)
+        assert series.bucket_edges() == [5, 10]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            collect_series([], bucket_width=0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize_outcomes([])
+        assert summary.queries == 0
+        assert math.isnan(summary.success_rate)
+
+    def test_aggregates(self):
+        outcomes = [
+            outcome(1, True, distance=100.0, messages=10, responses=2),
+            outcome(2, False, messages=30, responses=0),
+            outcome(3, True, distance=300.0, messages=20, responses=1),
+        ]
+        summary = summarize_outcomes(outcomes)
+        assert summary.queries == 3
+        assert summary.successes == 2
+        assert summary.success_rate == pytest.approx(2 / 3)
+        assert summary.mean_messages == pytest.approx(20.0)
+        assert summary.mean_download_distance_ms == pytest.approx(200.0)
+        assert summary.mean_responses == pytest.approx(1.0)
+
+    def test_all_failed_distance_nan(self):
+        summary = summarize_outcomes([outcome(1, False)])
+        assert math.isnan(summary.mean_download_distance_ms)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "1.50" in lines[2]
+        assert "22.25" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_nan_rendering(self):
+        text = format_table(["v"], [[math.nan]])
+        assert "n/a" in text
+
+    def test_format_series_table_columns(self):
+        text = format_series_table(
+            "#queries", [100, 200], {"flooding": [1.0, 2.0], "locaware": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0]
+        assert "#queries" in header
+        assert "flooding" in header
+        assert "locaware" in header
+
+    def test_format_series_table_short_series_padded(self):
+        text = format_series_table("#q", [1, 2], {"p": [5.0]})
+        assert "n/a" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.985) == "98.5%"
+        assert format_percent(math.nan) == "n/a"
+
+
+class TestClaimChecks:
+    @staticmethod
+    def summaries(loc_dist=200.0, loc_rate=0.5, dicas_rate=0.4, keys_rate=0.35):
+        def summary(dist, msgs, rate):
+            return OutcomeSummary(
+                queries=100,
+                successes=int(rate * 100),
+                success_rate=rate,
+                mean_messages=msgs,
+                mean_download_distance_ms=dist,
+                mean_responses=1.0,
+            )
+
+        return {
+            "flooding": summary(370.0, 1000.0, 0.9),
+            "dicas": summary(350.0, 50.0, dicas_rate),
+            "dicas-keys": summary(350.0, 50.0, keys_rate),
+            "locaware": summary(loc_dist, 50.0, loc_rate),
+        }
+
+    @staticmethod
+    def series(locaware_trend=(-0.2)):
+        from repro.analysis import MetricSeries
+        from repro.sim import BucketedSeries
+
+        out = {}
+        for name in ("flooding", "dicas", "dicas-keys", "locaware"):
+            distance = BucketedSeries("d", 10)
+            start = 300.0
+            end = start * (1 + locaware_trend) if name == "locaware" else start
+            for i in range(1, 11):
+                distance.record(i, start)
+            for i in range(11, 21):
+                distance.record(i, end)
+            traffic = BucketedSeries("t", 10)
+            success = BucketedSeries("s", 10)
+            for i in range(1, 21):
+                traffic.record(i, 10.0)
+                success.record(i, 1.0)
+            out[name] = MetricSeries(distance, traffic, success)
+        return out
+
+    def test_all_claims_pass_on_paper_shaped_data(self):
+        checks = check_paper_claims(self.summaries(), self.series())
+        assert len(checks) == 7
+        assert all(c.holds for c in checks)
+
+    def test_distance_claim_fails_when_locaware_worse(self):
+        checks = check_paper_claims(
+            self.summaries(loc_dist=400.0), self.series()
+        )
+        fig2 = next(c for c in checks if "below every baseline" in c.claim)
+        assert not fig2.holds
+
+    def test_trend_claim_fails_when_flat(self):
+        checks = check_paper_claims(
+            self.summaries(), self.series(locaware_trend=0.0)
+        )
+        trend = next(c for c in checks if "improves" in c.claim)
+        assert not trend.holds
+
+    def test_success_ordering_claims(self):
+        checks = check_paper_claims(
+            self.summaries(loc_rate=0.3, dicas_rate=0.4), self.series()
+        )
+        vs_dicas = next(c for c in checks if "beats Dicas on" in c.claim)
+        assert not vs_dicas.holds
+
+    def test_missing_protocol_rejected(self):
+        summaries = self.summaries()
+        del summaries["dicas"]
+        with pytest.raises(ValueError):
+            check_paper_claims(summaries, self.series())
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        assert relative_change(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_change(90.0, 100.0) == pytest.approx(-0.1)
+
+    def test_nan_propagation(self):
+        assert math.isnan(relative_change(math.nan, 100.0))
+        assert math.isnan(relative_change(100.0, 0.0))

@@ -1,0 +1,73 @@
+"""Tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import render_chart, render_figure_chart
+
+
+class TestRenderChart:
+    def test_empty_series(self):
+        assert "(no data to chart)" in render_chart({})
+
+    def test_all_nan_series_ignored(self):
+        text = render_chart({"a": [math.nan, math.nan]})
+        assert "(no data to chart)" in text
+
+    def test_contains_legend(self):
+        text = render_chart({"flooding": [1.0, 2.0], "locaware": [3.0, 4.0]})
+        assert "flooding" in text
+        assert "locaware" in text
+
+    def test_distinct_glyphs_per_series(self):
+        text = render_chart({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        legend = text.splitlines()[-1]
+        assert "* a" in legend
+        assert "o b" in legend
+
+    def test_y_axis_covers_value_range(self):
+        text = render_chart({"a": [0.0, 100.0]})
+        assert "100.0" in text
+        assert "0.0" in text
+
+    def test_extremes_plotted_on_boundary_rows(self):
+        text = render_chart({"a": [0.0, 100.0]}, width=20, height=6)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "*" in lines[0]  # max on the top row
+        assert "*" in lines[-1]  # min on the bottom row
+
+    def test_nan_points_skipped(self):
+        text = render_chart({"a": [1.0, math.nan, 2.0]})
+        grid_rows = [line for line in text.splitlines() if "|" in line]
+        assert sum(line.count("*") for line in grid_rows) == 2
+
+    def test_constant_series_renders(self):
+        text = render_chart({"a": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+    def test_width_height_validated(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [1.0]}, width=5)
+        with pytest.raises(ValueError):
+            render_chart({"a": [1.0]}, height=2)
+
+    def test_y_label_shown(self):
+        text = render_chart({"a": [1.0, 2.0]}, y_label="distance ms")
+        assert text.splitlines()[0] == "distance ms"
+
+
+class TestRenderFigureChart:
+    def test_title_and_x_caption(self):
+        text = render_figure_chart(
+            [100, 200, 300],
+            {"a": [1.0, 2.0, 3.0]},
+            title="Figure X",
+            y_label="metric",
+        )
+        assert text.splitlines()[0] == "Figure X"
+        assert "#queries 100..300" in text
+
+    def test_empty_x_values(self):
+        text = render_figure_chart([], {"a": [1.0]}, title="T", y_label="y")
+        assert "(empty)" in text

@@ -1,0 +1,116 @@
+"""Tests for percentile/CDF analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DistanceDistribution,
+    cdf_points,
+    distance_distribution,
+    percentile,
+)
+from repro.protocols import QueryOutcome
+
+
+def outcome(index, success, distance):
+    return QueryOutcome(
+        query_id=index,
+        index=index,
+        origin=0,
+        target_file=1,
+        keywords=("kw",),
+        issued_at=0.0,
+        success=success,
+        download_distance_ms=distance if success else math.nan,
+        messages=1,
+        responses=1,
+        provider=2 if success else None,
+        downloaded_file=1 if success else None,
+    )
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_value(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_median_of_even_count(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        values.sort()
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(
+        values=st.lists(st.floats(0, 1e6), min_size=1, max_size=100),
+        q=st.floats(0, 100),
+    )
+    def test_matches_numpy(self, values, q):
+        ordered = sorted(values)
+        ours = percentile(ordered, q)
+        theirs = float(np.percentile(ordered, q))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+    @given(values=st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+    def test_monotone_in_q(self, values):
+        ordered = sorted(values)
+        qs = [0, 25, 50, 75, 100]
+        results = [percentile(ordered, q) for q in qs]
+        assert results == sorted(results)
+
+
+class TestDistanceDistribution:
+    def test_empty(self):
+        dist = distance_distribution([])
+        assert dist.count == 0
+        assert math.isnan(dist.p50)
+
+    def test_only_successes_counted(self):
+        outcomes = [
+            outcome(1, True, 100.0),
+            outcome(2, False, None),
+            outcome(3, True, 300.0),
+        ]
+        dist = distance_distribution(outcomes)
+        assert dist.count == 2
+        assert dist.mean == pytest.approx(200.0)
+        assert dist.p50 == pytest.approx(200.0)
+
+    def test_percentile_ordering(self):
+        outcomes = [outcome(i, True, float(i * 10)) for i in range(1, 101)]
+        dist = distance_distribution(outcomes)
+        assert dist.p10 <= dist.p50 <= dist.p90 <= dist.p99
+
+
+class TestCdf:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_endpoints(self):
+        points = cdf_points([1.0, 2.0, 3.0], num_points=5)
+        assert points[0] == (1.0, 0.0)
+        assert points[-1] == (3.0, 1.0)
+
+    def test_monotone(self):
+        points = cdf_points([5.0, 1.0, 9.0, 2.0], num_points=10)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_invalid_num_points(self):
+        with pytest.raises(ValueError):
+            cdf_points([1.0], num_points=1)

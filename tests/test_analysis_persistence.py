@@ -1,0 +1,112 @@
+"""Tests for JSON persistence and markdown reporting of results."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    check_paper_claims,
+    claims_report,
+    comparison_report,
+    comparison_to_document,
+    load_comparison_document,
+    markdown_table,
+    save_comparison,
+)
+from repro.experiments import run_comparison, small_config
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = small_config(seed=11).replace(query_rate_per_peer=0.02)
+    return run_comparison(config, max_queries=100, bucket_width=50)
+
+
+class TestDocument:
+    def test_document_structure(self, comparison):
+        doc = comparison_to_document(comparison)
+        assert doc["kind"] == "comparison"
+        assert set(doc["runs"]) == set(comparison.runs)
+        assert doc["config"]["num_peers"] == comparison.config.num_peers
+
+    def test_document_is_json_serialisable(self, comparison):
+        text = json.dumps(comparison_to_document(comparison))
+        assert "locaware" in text
+
+    def test_roundtrip_preserves_summaries(self, comparison):
+        buffer = io.StringIO()
+        save_comparison(comparison, buffer)
+        buffer.seek(0)
+        loaded = load_comparison_document(buffer)
+        for name, run in comparison.runs.items():
+            restored = loaded.runs[name].summary
+            assert restored.queries == run.summary.queries
+            assert restored.success_rate == pytest.approx(run.summary.success_rate)
+            assert restored.mean_messages == pytest.approx(run.summary.mean_messages)
+
+    def test_roundtrip_preserves_series(self, comparison):
+        buffer = io.StringIO()
+        save_comparison(comparison, buffer)
+        buffer.seek(0)
+        loaded = load_comparison_document(buffer)
+        for name, run in comparison.runs.items():
+            original = run.series.search_traffic.windowed_means()
+            restored = loaded.runs[name].series.search_traffic.windowed_means()
+            assert restored == pytest.approx(original, nan_ok=True)
+
+    def test_nan_distances_roundtrip(self, comparison):
+        """Failed-query NaNs must survive the None encoding."""
+        buffer = io.StringIO()
+        save_comparison(comparison, buffer)
+        buffer.seek(0)
+        loaded = load_comparison_document(buffer)
+        for name, run in comparison.runs.items():
+            original = run.series.download_distance.windowed_means()
+            restored = loaded.runs[name].series.download_distance.windowed_means()
+            assert len(original) == len(restored)
+            for a, b in zip(original, restored):
+                assert (math.isnan(a) and math.isnan(b)) or a == pytest.approx(b)
+
+    def test_claim_checks_work_on_loaded_results(self, comparison):
+        buffer = io.StringIO()
+        save_comparison(comparison, buffer)
+        buffer.seek(0)
+        loaded = load_comparison_document(buffer)
+        live = check_paper_claims(comparison.summaries(), comparison.series())
+        restored = check_paper_claims(loaded.summaries(), loaded.series())
+        assert [c.holds for c in live] == [c.holds for c in restored]
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            load_comparison_document(io.StringIO('{"kind": "other"}'))
+
+    def test_wrong_version_rejected(self):
+        doc = '{"kind": "comparison", "format_version": 999, "runs": {}}'
+        with pytest.raises(ValueError):
+            load_comparison_document(io.StringIO(doc))
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        text = markdown_table(["a", "b"], [[1, 2.5], ["x", math.nan]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.50" in lines[2]
+        assert "n/a" in lines[3]
+
+    def test_comparison_report_contains_figures(self, comparison):
+        text = comparison_report(comparison, heading="test run")
+        assert "### test run" in text
+        assert "Figure 2 series" in text
+        assert "Figure 3 series" in text
+        assert "Figure 4 series" in text
+        assert "locaware" in text
+
+    def test_claims_report_lists_all_claims(self, comparison):
+        text = claims_report(comparison)
+        assert text.count("Fig2") == 2
+        assert text.count("Fig3") == 2
+        assert text.count("Fig4") == 3

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.command == "figures"
+        assert args.queries > 0
+        assert args.save is None
+
+    def test_ablation_ids(self):
+        for ablation_id in ("a1", "a2", "a3", "a4", "a5", "a6", "a7", "ext"):
+            args = build_parser().parse_args(["ablation", ablation_id])
+            assert args.id == ablation_id
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "zz"])
+
+
+class TestInfo:
+    def test_info_prints_paper_config(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "num_peers" in text
+        assert "1000" in text
+        assert "locaware" in text
+
+
+class TestRoundtrip:
+    """figures --save → claims --load → report --load, on a saved doc."""
+
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        # Build a small comparison directly (CLI figure runs use the
+        # full paper scale; tests persist a small one instead).
+        from repro.analysis import save_comparison
+        from repro.experiments import run_comparison, small_config
+
+        config = small_config(seed=11).replace(query_rate_per_peer=0.02)
+        result = run_comparison(config, max_queries=100, bucket_width=50)
+        path = tmp_path_factory.mktemp("cli") / "run.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            save_comparison(result, handle)
+        return path
+
+    def test_claims_load(self, saved):
+        code, text = run_cli("claims", "--load", str(saved))
+        assert "paper claims hold" in text
+        assert "[PASS]" in text or "[FAIL]" in text
+
+    def test_report_load(self, saved):
+        code, text = run_cli("report", "--load", str(saved))
+        assert code == 0
+        assert "Figure 2 series" in text
+        assert "### Claim checks" in text
+
+    def test_saved_file_is_valid_json(self, saved):
+        with open(saved, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["kind"] == "comparison"

@@ -1,0 +1,81 @@
+"""Unit tests for location-aware provider selection."""
+
+import pytest
+
+from repro.core import LocationAwareSelector
+from repro.overlay import P2PNetwork, ProviderEntry, QueryResponse
+from repro.sim import SimulationConfig
+
+
+def make_network(seed=5):
+    return P2PNetwork.build(SimulationConfig.small(seed=seed))
+
+
+def response_with(providers, file_id=0):
+    return QueryResponse(
+        query_id=1,
+        origin=0,
+        origin_locid=3,
+        keywords=("kw1",),
+        file_id=file_id,
+        filename="kw1-kw2-kw3",
+        providers=tuple(providers),
+        responder=providers[0].peer_id,
+        reverse_path=(),
+    )
+
+
+class TestChoose:
+    def test_empty_candidates(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        assert selector.choose(0, 3, []) is None
+
+    def test_locid_match_wins(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        far = ProviderEntry(10, 9)
+        near = ProviderEntry(20, 3)
+        response = response_with([far, near])
+        chosen = selector.choose(0, 3, [(response, far), (response, near)])
+        assert chosen[1] is near
+        assert network.metrics.counter("selection.locid_match").value == 1
+
+    def test_first_locid_match_in_arrival_order(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        first = ProviderEntry(10, 3)
+        second = ProviderEntry(20, 3)
+        response = response_with([first, second])
+        chosen = selector.choose(0, 3, [(response, first), (response, second)])
+        assert chosen[1] is first
+
+    def test_rtt_fallback_picks_minimum(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        candidates = []
+        response = response_with([ProviderEntry(pid, 9) for pid in (10, 20, 30)])
+        for provider in response.providers:
+            candidates.append((response, provider))
+        chosen = selector.choose(0, 3, candidates)
+        rtts = {pid: network.underlay.rtt_ms(0, pid) for pid in (10, 20, 30)}
+        assert chosen[1].peer_id == min(rtts, key=rtts.get)
+        assert network.metrics.counter("selection.rtt_fallback").value == 1
+
+    def test_fallback_charges_probe_messages_to_query(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        response = response_with([ProviderEntry(10, 9), ProviderEntry(20, 8)])
+        selector.choose(
+            0, 3, [(response, p) for p in response.providers], query_id=42
+        )
+        # Two distinct providers probed => 4 messages charged.
+        assert network.query_message_count(42) == 4
+
+    def test_duplicate_providers_probed_once(self):
+        network = make_network()
+        selector = LocationAwareSelector(network)
+        r1 = response_with([ProviderEntry(10, 9)])
+        r2 = response_with([ProviderEntry(10, 8)])
+        selector.choose(0, 3, [(r1, r1.providers[0]), (r2, r2.providers[0])], query_id=7)
+        assert network.query_message_count(7) == 2

@@ -1,0 +1,126 @@
+"""Unit tests for Locaware's location-aware response index."""
+
+import pytest
+
+from repro.core import LocationAwareIndex
+from repro.overlay import ProviderEntry
+
+
+class TestPut:
+    def test_insert_reports_new_filename(self):
+        index = LocationAwareIndex(10, 5)
+        update = index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        assert update.inserted_filename is True
+        assert update.evicted_filenames == ()
+
+    def test_second_put_is_not_an_insert(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        update = index.put("kw1-kw2", [ProviderEntry(2, 1)])
+        assert update.inserted_filename is False
+
+    def test_providers_accumulate(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        index.put("kw1-kw2", [ProviderEntry(2, 1)])
+        providers = index.providers_of("kw1-kw2")
+        assert {p.peer_id for p in providers} == {1, 2}
+
+    def test_most_recent_first(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        index.put("kw1-kw2", [ProviderEntry(2, 1)])
+        assert index.providers_of("kw1-kw2")[0].peer_id == 2
+
+    def test_readding_provider_refreshes_recency_and_locid(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0), ProviderEntry(2, 1)])
+        index.put("kw1-kw2", [ProviderEntry(1, 7)])
+        providers = index.providers_of("kw1-kw2")
+        assert providers[0] == ProviderEntry(1, 7)
+        assert index.provider_count("kw1-kw2") == 2
+
+    def test_provider_bound_drops_oldest(self):
+        """§4.1.2: the most recent p_f entries replace the oldest ones."""
+        index = LocationAwareIndex(10, 3)
+        for pid in range(5):
+            index.put("kw1-kw2", [ProviderEntry(pid, 0)])
+        providers = index.providers_of("kw1-kw2")
+        assert [p.peer_id for p in providers] == [4, 3, 2]
+
+    def test_capacity_evicts_lru_filename(self):
+        index = LocationAwareIndex(2, 5)
+        index.put("a-b", [ProviderEntry(1, 0)])
+        index.put("c-d", [ProviderEntry(2, 0)])
+        update = index.put("e-f", [ProviderEntry(3, 0)])
+        assert update.evicted_filenames == ("a-b",)
+        assert "a-b" not in index
+        assert index.size == 2
+
+    def test_refresh_protects_filename_from_eviction(self):
+        index = LocationAwareIndex(2, 5)
+        index.put("a-b", [ProviderEntry(1, 0)])
+        index.put("c-d", [ProviderEntry(2, 0)])
+        index.put("a-b", [ProviderEntry(9, 1)])
+        update = index.put("e-f", [ProviderEntry(3, 0)])
+        assert update.evicted_filenames == ("c-d",)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocationAwareIndex(0, 5)
+        with pytest.raises(ValueError):
+            LocationAwareIndex(5, 0)
+
+
+class TestLookup:
+    def test_lookup_matches_all_keywords(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2-kw3", [ProviderEntry(1, 0)])
+        hit = index.lookup(["kw2", "kw3"])
+        assert hit is not None
+        filename, providers = hit
+        assert filename == "kw1-kw2-kw3"
+        assert providers[0].peer_id == 1
+
+    def test_lookup_misses_on_foreign_keyword(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2-kw3", [ProviderEntry(1, 0)])
+        assert index.lookup(["kw1", "kw9"]) is None
+
+    def test_lookup_prefers_most_recent_filename(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        index.put("kw1-kw3", [ProviderEntry(2, 0)])
+        assert index.lookup(["kw1"])[0] == "kw1-kw3"
+
+    def test_lookup_empty_query(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        assert index.lookup([]) is None
+
+
+class TestRemoval:
+    def test_remove_provider(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0), ProviderEntry(2, 1)])
+        assert index.remove_provider("kw1-kw2", 1) is True
+        assert {p.peer_id for p in index.providers_of("kw1-kw2")} == {2}
+
+    def test_remove_absent_provider(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        assert index.remove_provider("kw1-kw2", 9) is False
+        assert index.remove_provider("kw9-kw8", 1) is False
+
+    def test_remove_filename(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("kw1-kw2", [ProviderEntry(1, 0)])
+        assert index.remove_filename("kw1-kw2") is True
+        assert index.remove_filename("kw1-kw2") is False
+        assert index.size == 0
+
+    def test_total_provider_entries(self):
+        index = LocationAwareIndex(10, 5)
+        index.put("a-b", [ProviderEntry(1, 0), ProviderEntry(2, 0)])
+        index.put("c-d", [ProviderEntry(3, 0)])
+        assert index.total_provider_entries() == 3

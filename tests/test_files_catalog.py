@@ -1,0 +1,96 @@
+"""Unit tests for the file catalog and matching rules."""
+
+import random
+
+import pytest
+
+from repro.files import FileCatalog, KeywordPool
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return FileCatalog.generate(300, 3, KeywordPool(900), random.Random(11))
+
+
+class TestGeneration:
+    def test_file_count(self, catalog):
+        assert catalog.num_files == 300
+
+    def test_file_ids_dense(self, catalog):
+        for fid in range(300):
+            assert catalog.record(fid).file_id == fid
+
+    def test_filenames_distinct(self, catalog):
+        names = {catalog.filename(fid) for fid in range(300)}
+        assert len(names) == 300
+
+    def test_keywords_per_file(self, catalog):
+        for fid in range(0, 300, 17):
+            assert len(catalog.keywords(fid)) == 3
+
+    def test_deterministic(self):
+        a = FileCatalog.generate(50, 3, KeywordPool(200), random.Random(3))
+        b = FileCatalog.generate(50, 3, KeywordPool(200), random.Random(3))
+        assert [r.filename for r in a.all_records()] == [r.filename for r in b.all_records()]
+
+    def test_too_small_pool_raises(self):
+        # 3 keywords from a 3-keyword pool => only one possible filename.
+        with pytest.raises(ValueError):
+            FileCatalog.generate(2, 3, KeywordPool(3), random.Random(1))
+
+
+class TestLookups:
+    def test_by_filename_roundtrip(self, catalog):
+        record = catalog.record(42)
+        assert catalog.by_filename(record.filename) is record
+
+    def test_by_filename_missing(self, catalog):
+        assert catalog.by_filename("not-a-file") is None
+
+    def test_keyword_document_frequency(self, catalog):
+        record = catalog.record(0)
+        kw = next(iter(record.keywords))
+        assert catalog.keyword_document_frequency(kw) >= 1
+        assert catalog.keyword_document_frequency("unused-keyword") == 0
+
+
+class TestMatching:
+    def test_full_filename_matches_itself(self, catalog):
+        record = catalog.record(7)
+        assert 7 in catalog.matching_files(record.keywords)
+
+    def test_partial_query_matches(self, catalog):
+        """§3.1: any subset of a filename's keywords satisfies it."""
+        record = catalog.record(10)
+        one_keyword = [next(iter(record.keywords))]
+        assert 10 in catalog.matching_files(one_keyword)
+
+    def test_match_requires_all_keywords(self, catalog):
+        a = catalog.record(1)
+        b = catalog.record(2)
+        mixed = [next(iter(a.keywords)), next(iter(b.keywords - a.keywords))]
+        matches = catalog.matching_files(mixed)
+        # No guarantee some file holds both, but file 1 must not match
+        # unless it really contains both keywords.
+        if 1 in matches:
+            assert all(kw in a.keywords for kw in mixed)
+
+    def test_unknown_keyword_matches_nothing(self, catalog):
+        assert catalog.matching_files(["nonexistent"]) == set()
+
+    def test_empty_query_matches_nothing(self, catalog):
+        assert catalog.matching_files([]) == set()
+
+    def test_file_matches_agrees_with_matching_files(self, catalog):
+        record = catalog.record(33)
+        query = list(record.keywords)[:2]
+        assert catalog.file_matches(33, query)
+        assert 33 in catalog.matching_files(query)
+
+    def test_ground_truth_is_exhaustive(self, catalog):
+        """matching_files must equal the brute-force scan."""
+        query = list(catalog.record(99).keywords)[:1]
+        brute = {
+            r.file_id for r in catalog.all_records() if r.matches_keywords(query)
+        }
+        assert catalog.matching_files(query) == brute

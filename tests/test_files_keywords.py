@@ -1,0 +1,79 @@
+"""Unit tests for the keyword vocabulary and filename rules."""
+
+import random
+
+import pytest
+
+from repro.files import KeywordPool, canonical_form, join_keywords, tokenize_filename
+
+
+class TestFilenameRules:
+    def test_join_sorts_keywords(self):
+        assert join_keywords(["zeta", "alpha"]) == "alpha-zeta"
+
+    def test_tokenize_inverts_join(self):
+        keywords = ["kw000001", "kw000009", "kw000005"]
+        assert tokenize_filename(join_keywords(keywords)) == sorted(keywords)
+
+    def test_canonical_form_is_order_independent(self):
+        assert canonical_form(["b", "a", "c"]) == canonical_form(["c", "b", "a"])
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            join_keywords([])
+        with pytest.raises(ValueError):
+            join_keywords(["ok", ""])
+
+    def test_separator_in_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            join_keywords(["has-dash"])
+
+    def test_tokenize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize_filename("")
+
+
+class TestKeywordPool:
+    def test_size(self):
+        assert KeywordPool(9000).size == 9000
+        assert len(KeywordPool(10)) == 10
+
+    def test_keywords_are_distinct(self):
+        pool = KeywordPool(500)
+        assert len(set(pool.all_keywords())) == 500
+
+    def test_keyword_by_index(self):
+        pool = KeywordPool(10)
+        assert pool.keyword(0) == pool.all_keywords()[0]
+
+    def test_contains_members(self):
+        pool = KeywordPool(100)
+        for kw in pool.all_keywords()[:10]:
+            assert kw in pool
+
+    def test_contains_rejects_outsiders(self):
+        pool = KeywordPool(10)
+        assert "kw999999" not in pool
+        assert "banana" not in pool
+        assert 42 not in pool
+
+    def test_sample_draws_distinct(self):
+        pool = KeywordPool(100)
+        rng = random.Random(1)
+        for _ in range(50):
+            sample = pool.sample_filename_keywords(3, rng)
+            assert len(set(sample)) == 3
+
+    def test_sample_deterministic(self):
+        pool = KeywordPool(100)
+        a = pool.sample_filename_keywords(3, random.Random(5))
+        b = pool.sample_filename_keywords(3, random.Random(5))
+        assert a == b
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordPool(2).sample_filename_keywords(3, random.Random(1))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordPool(0)

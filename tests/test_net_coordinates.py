@@ -1,0 +1,81 @@
+"""Unit tests for coordinate placement."""
+
+import math
+import random
+
+import pytest
+
+from repro.net import Point, clustered_points, max_pairwise_distance, random_points
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(0.3, 0.4)) == pytest.approx(0.5)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(0.1, 0.9), Point(0.7, 0.2)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(0.5, 0.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_out_of_square_rejected(self):
+        with pytest.raises(ValueError):
+            Point(1.5, 0.5)
+        with pytest.raises(ValueError):
+            Point(0.5, -0.1)
+
+    def test_as_tuple(self):
+        assert Point(0.25, 0.75).as_tuple() == (0.25, 0.75)
+
+    def test_triangle_inequality(self):
+        rng = random.Random(3)
+        pts = random_points(30, rng)
+        for a, b, c in zip(pts, pts[1:], pts[2:]):
+            assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12
+
+
+class TestGenerators:
+    def test_random_points_count(self):
+        assert len(random_points(17, random.Random(1))) == 17
+
+    def test_random_points_deterministic(self):
+        a = random_points(5, random.Random(42))
+        b = random_points(5, random.Random(42))
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_points(-1, random.Random(1))
+
+    def test_clustered_points_inside_square(self):
+        pts = clustered_points(200, random.Random(2), num_clusters=4, spread=0.3)
+        for p in pts:
+            assert 0.0 <= p.x <= 1.0
+            assert 0.0 <= p.y <= 1.0
+
+    def test_clustered_points_actually_cluster(self):
+        """Mean nearest-neighbour distance should be far below uniform."""
+        rng = random.Random(5)
+        uniform = random_points(150, rng)
+        clustered = clustered_points(150, rng, num_clusters=5, spread=0.02)
+
+        def mean_nn(points):
+            total = 0.0
+            for p in points:
+                total += min(p.distance_to(q) for q in points if q is not p)
+            return total / len(points)
+
+        assert mean_nn(clustered) < mean_nn(uniform) * 0.8
+
+    def test_clustered_invalid_args_rejected(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            clustered_points(10, rng, num_clusters=0)
+        with pytest.raises(ValueError):
+            clustered_points(10, rng, spread=-0.1)
+
+    def test_max_pairwise_distance(self):
+        pts = [Point(0.0, 0.0), Point(1.0, 1.0), Point(0.5, 0.5)]
+        assert max_pairwise_distance(pts) == pytest.approx(math.sqrt(2.0))

@@ -1,0 +1,111 @@
+"""Unit tests for the assembled P2PNetwork."""
+
+import pytest
+
+from repro.overlay import P2PNetwork
+from repro.sim import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def network():
+    return P2PNetwork.build(SimulationConfig.small(seed=3))
+
+
+class TestBuild:
+    def test_population(self, network):
+        config = network.config
+        assert len(network.peers) == config.num_peers
+        assert network.graph.num_peers == config.num_peers
+        assert network.underlay.num_peers == config.num_peers
+
+    def test_initial_shares(self, network):
+        for peer in network.peers:
+            assert peer.store.size == network.config.files_per_peer
+
+    def test_gids_in_range(self, network):
+        for peer in network.peers:
+            assert 0 <= peer.gid < network.config.group_count
+
+    def test_locids_match_underlay(self, network):
+        for peer in network.peers:
+            assert peer.locid == network.underlay.locid_of(peer.peer_id)
+
+    def test_deterministic_build(self):
+        a = P2PNetwork.build(SimulationConfig.small(seed=9))
+        b = P2PNetwork.build(SimulationConfig.small(seed=9))
+        assert [p.gid for p in a.peers] == [p.gid for p in b.peers]
+        assert [sorted(p.store.file_ids()) for p in a.peers] == [
+            sorted(p.store.file_ids()) for p in b.peers
+        ]
+        assert a.graph.neighbors(0) == b.graph.neighbors(0)
+
+    def test_different_seeds_differ(self):
+        a = P2PNetwork.build(SimulationConfig.small(seed=1))
+        b = P2PNetwork.build(SimulationConfig.small(seed=2))
+        same_shares = [sorted(p.store.file_ids()) for p in a.peers] == [
+            sorted(p.store.file_ids()) for p in b.peers
+        ]
+        assert not same_shares
+
+
+class TestMessaging:
+    def test_send_delivers_after_latency(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        received = []
+        network.send(0, 1, lambda dst, msg: received.append((dst, msg, network.sim.now)), "hello")
+        network.sim.run()
+        assert len(received) == 1
+        dst, msg, at = received[0]
+        assert dst == 1
+        assert msg == "hello"
+        assert at == pytest.approx(network.underlay.latency_s(0, 1))
+
+    def test_send_counts_messages(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.send(0, 1, lambda *a: None, "x", kind="query")
+        assert network.metrics.counter("messages.query").value == 1
+        assert network.metrics.counter("messages.total").value == 1
+
+    def test_send_attributes_to_query(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.send(0, 1, lambda *a: None, "x", query_id=77)
+        network.send(1, 2, lambda *a: None, "x", query_id=77)
+        assert network.query_message_count(77) == 2
+
+    def test_forget_query_messages_pops(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.send(0, 1, lambda *a: None, "x", query_id=5)
+        assert network.forget_query_messages(5) == 1
+        assert network.query_message_count(5) == 0
+
+    def test_charge_query_messages(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.charge_query_messages(9, 4)
+        assert network.query_message_count(9) == 4
+        with pytest.raises(ValueError):
+            network.charge_query_messages(9, -1)
+
+    def test_dead_peer_drops_delivery_but_counts_send(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.peer(1).alive = False
+        received = []
+        network.send(0, 1, lambda dst, msg: received.append(msg), "x")
+        network.sim.run()
+        assert received == []
+        assert network.metrics.counter("messages.total").value == 1
+        assert network.metrics.counter("messages.dropped_dead_peer").value == 1
+
+    def test_alive_peer_ids_reflects_churn_flag(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.peer(2).alive = False
+        alive = network.alive_peer_ids()
+        assert 2 not in alive
+        assert len(alive) == network.config.num_peers - 1
+
+    def test_rtt_probe_counts_and_charges(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        rtts = network.rtt_probe_ms(0, [1, 2], query_id=3)
+        assert set(rtts) == {1, 2}
+        assert rtts[1] == pytest.approx(network.underlay.rtt_ms(0, 1))
+        assert network.metrics.counter("messages.rtt_probe").value == 4
+        assert network.query_message_count(3) == 4

@@ -1,0 +1,217 @@
+"""Unit tests for the shared query lifecycle (SearchProtocol base)."""
+
+import math
+
+import pytest
+
+from repro.overlay import P2PNetwork, ProviderEntry
+from repro.protocols import FloodingProtocol
+from repro.sim import RecordingTracer, SimulationConfig
+
+
+def make_network(seed=5, **overrides):
+    config = SimulationConfig.small(seed=seed)
+    if overrides:
+        config = config.replace(**overrides)
+    return P2PNetwork.build(config, tracer=RecordingTracer())
+
+
+def clear_all_stores(network):
+    for peer in network.peers:
+        peer.store.clear()
+
+
+def full_keywords(network, file_id):
+    return tuple(sorted(network.catalog.keywords(file_id)))
+
+
+class TestIssueQuery:
+    def test_returns_query_id(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        assert protocol.issue_query(0, 7, full_keywords(network, 7)) == 0
+        assert protocol.issue_query(1, 8, full_keywords(network, 8)) == 1
+
+    def test_counts_issued_queries(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        assert network.metrics.counter("queries.issued").value == 1
+
+    def test_pending_until_timeout(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        assert protocol.pending_queries == 1
+        network.sim.run()
+        assert protocol.pending_queries == 0
+
+    def test_outcome_recorded_at_timeout_horizon(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run(until=network.config.query_timeout_s - 1.0)
+        assert protocol.outcomes == []
+        network.sim.run()
+        assert len(protocol.outcomes) == 1
+
+    def test_failed_outcome_has_nan_distance(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert not outcome.success
+        assert math.isnan(outcome.download_distance_ms)
+        assert outcome.provider is None
+
+    def test_outcome_indices_count_network_queries_only(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        network.peer(0).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))  # local
+        protocol.issue_query(1, 8, full_keywords(network, 8))  # network
+        network.sim.run()
+        assert [o.index for o in protocol.outcomes] == [1]
+
+
+class TestDuplicateSuppression:
+    def test_duplicates_are_counted_not_reprocessed(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        # On a 60-peer overlay with TTL 7 and blind flooding, cycles
+        # guarantee duplicate copies.
+        assert network.metrics.counter("queries.duplicate_copies").value > 0
+
+    def test_messages_include_duplicate_deliveries(self):
+        """Bandwidth is consumed even by copies the receiver drops."""
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        duplicates = network.metrics.counter("queries.duplicate_copies").value
+        outcome = protocol.outcomes[0]
+        assert outcome.messages >= duplicates
+
+
+class TestResponseHandling:
+    def test_multiple_responders_collected_in_window(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        holders = [10, 20, 30]
+        for holder in holders:
+            network.peer(holder).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert outcome.success
+        assert outcome.responses >= 2
+
+    def test_first_valid_provider_selected_by_default(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        network.peer(10).store.add(7)
+        network.peer(20).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert outcome.provider in (10, 20)
+
+    def test_dead_provider_skipped_at_selection(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        network.peer(10).store.add(7)
+        network.peer(20).store.add(7)
+        qid = protocol.issue_query(0, 7, full_keywords(network, 7))
+        # Kill one holder while queries are in flight: its response may
+        # be generated before death, but selection must not pick a dead
+        # peer.
+        network.sim.schedule(0.2, lambda: setattr(network.peer(10), "alive", False))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        if outcome.success:
+            assert outcome.provider == 20
+
+    def test_late_responses_counted(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        for holder in (10, 20, 30, 40):
+            network.peer(holder).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        # With several responders and a 2 s window, extras arriving
+        # after satisfaction land in the late/extra counter.
+        late = network.metrics.counter("responses.late_or_extra").value
+        outcome = protocol.outcomes[0]
+        assert outcome.responses + late >= 2
+
+
+class TestProviderValidity:
+    def test_origin_never_its_own_provider(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        context_like = protocol  # only needs origin attribute via context
+        from repro.protocols import QueryContext
+
+        context = QueryContext(
+            query_id=0, index=1, origin=0, target_file=7,
+            keywords=("kw",), issued_at=0.0,
+        )
+        assert not protocol.provider_is_valid(context, 7, ProviderEntry(0, 1))
+
+    def test_provider_must_share_the_file(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        from repro.protocols import QueryContext
+
+        context = QueryContext(
+            query_id=0, index=1, origin=0, target_file=7,
+            keywords=("kw",), issued_at=0.0,
+        )
+        assert not protocol.provider_is_valid(context, 7, ProviderEntry(5, 1))
+        network.peer(5).store.add(7)
+        assert protocol.provider_is_valid(context, 7, ProviderEntry(5, 1))
+
+    def test_dead_provider_invalid(self):
+        network = make_network()
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        network.peer(5).store.add(7)
+        network.peer(5).alive = False
+        from repro.protocols import QueryContext
+
+        context = QueryContext(
+            query_id=0, index=1, origin=0, target_file=7,
+            keywords=("kw",), issued_at=0.0,
+        )
+        assert not protocol.provider_is_valid(context, 7, ProviderEntry(5, 1))
+
+
+class TestTracing:
+    def test_query_lifecycle_traced(self):
+        network = make_network()
+        tracer = network.tracer
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        network.peer(10).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        assert tracer.count("query.issue") == 1
+        assert tracer.count("query.satisfied") == 1
+        assert tracer.count("response.delivered") >= 1

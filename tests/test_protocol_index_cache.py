@@ -1,0 +1,92 @@
+"""Unit tests for the Dicas plain index cache."""
+
+import pytest
+
+from repro.overlay import ProviderEntry
+from repro.protocols import PlainIndexCache
+
+
+class TestPut:
+    def test_put_and_get(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2-kw3", ProviderEntry(5, 2))
+        assert cache.get("kw1-kw2-kw3") == ProviderEntry(5, 2)
+
+    def test_put_updates_provider(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2", ProviderEntry(5))
+        cache.put("kw1-kw2", ProviderEntry(9))
+        assert cache.get("kw1-kw2") == ProviderEntry(9)
+        assert cache.size == 1
+
+    def test_capacity_evicts_lru(self):
+        cache = PlainIndexCache(2)
+        cache.put("a-b", ProviderEntry(1))
+        cache.put("c-d", ProviderEntry(2))
+        evicted = cache.put("e-f", ProviderEntry(3))
+        assert evicted == "a-b"
+        assert cache.get("a-b") is None
+        assert cache.size == 2
+
+    def test_refresh_protects_from_eviction(self):
+        cache = PlainIndexCache(2)
+        cache.put("a-b", ProviderEntry(1))
+        cache.put("c-d", ProviderEntry(2))
+        cache.put("a-b", ProviderEntry(1))  # refresh recency
+        evicted = cache.put("e-f", ProviderEntry(3))
+        assert evicted == "c-d"
+        assert cache.get("a-b") is not None
+
+    def test_no_eviction_below_capacity(self):
+        cache = PlainIndexCache(3)
+        assert cache.put("a-b", ProviderEntry(1)) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PlainIndexCache(0)
+
+
+class TestLookup:
+    def test_lookup_by_all_keywords(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2-kw3", ProviderEntry(5))
+        hit = cache.lookup(["kw1", "kw3"])
+        assert hit is not None
+        assert hit[0] == "kw1-kw2-kw3"
+
+    def test_lookup_requires_every_keyword(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2-kw3", ProviderEntry(5))
+        assert cache.lookup(["kw1", "kw9"]) is None
+
+    def test_lookup_prefers_most_recent(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2", ProviderEntry(1))
+        cache.put("kw1-kw3", ProviderEntry(2))
+        hit = cache.lookup(["kw1"])
+        assert hit[0] == "kw1-kw3"
+
+    def test_lookup_empty_query(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2", ProviderEntry(1))
+        assert cache.lookup([]) is None
+
+    def test_remove(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2", ProviderEntry(1))
+        assert cache.remove("kw1-kw2") is True
+        assert cache.remove("kw1-kw2") is False
+        assert cache.lookup(["kw1"]) is None
+
+    def test_contains(self):
+        cache = PlainIndexCache(10)
+        cache.put("kw1-kw2", ProviderEntry(1))
+        assert "kw1-kw2" in cache
+        assert "kw9-kw8" not in cache
+
+    def test_filenames_in_lru_order(self):
+        cache = PlainIndexCache(10)
+        cache.put("a-b", ProviderEntry(1))
+        cache.put("c-d", ProviderEntry(2))
+        cache.put("a-b", ProviderEntry(1))
+        assert cache.filenames() == ["c-d", "a-b"]

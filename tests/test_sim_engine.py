@@ -1,0 +1,259 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    EventLoopError,
+    PeriodicProcess,
+    SchedulingError,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_event_runs_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_callback_args_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("fired"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        handle = sim.schedule(2.0, lambda: seen.append("b"))
+        sim.schedule(3.0, lambda: seen.append("c"))
+        handle.cancel()
+        sim.run()
+        assert seen == ["a", "c"]
+
+    def test_cancelled_events_do_not_count_as_executed(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.run() == 0
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1.0))
+        sim.schedule(5.0, lambda: seen.append(5.0))
+        sim.run(until=2.0)
+        assert seen == [1.0]
+        assert sim.now == 2.0
+
+    def test_run_until_includes_events_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(2.0))
+        sim.run(until=2.0)
+        assert seen == [2.0]
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1.0))
+        sim.schedule(5.0, lambda: seen.append(5.0))
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == [1.0, 5.0]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(EventLoopError):
+            sim.run(until=1.0)
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 5
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending_events == 7
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        failure = []
+
+        def reenter():
+            try:
+                sim.run()
+            except EventLoopError:
+                failure.append(True)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert failure == [True]
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        assert sim.step() is True
+        assert seen == ["a"]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_events_processed_accumulates(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 2.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_initial_delay_overrides_first_tick(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 2.0, lambda: times.append(sim.now), initial_delay=0.5)
+        sim.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop_halts_future_ticks(self):
+        sim = Simulator()
+        times = []
+        proc = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, proc.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert proc.stopped
+
+    def test_tick_count(self):
+        sim = Simulator()
+        proc = PeriodicProcess(sim, 1.0, lambda: None)
+        sim.run(until=4.5)
+        assert proc.ticks == 4
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        proc_box = []
+
+        def tick():
+            proc_box[0].stop()
+
+        proc_box.append(PeriodicProcess(sim, 1.0, tick))
+        sim.run(until=10.0)
+        assert proc_box[0].ticks == 1
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(SchedulingError):
+            PeriodicProcess(Simulator(), 0.0, lambda: None)

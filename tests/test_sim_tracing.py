@@ -1,0 +1,62 @@
+"""Unit tests for the tracing hooks."""
+
+from repro.sim import NullTracer, PrintTracer, RecordingTracer
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NullTracer().enabled is False
+
+    def test_emit_is_noop(self):
+        NullTracer().emit(1.0, "anything", a=1)  # must not raise
+
+
+class TestRecordingTracer:
+    def test_records_events_in_order(self):
+        tracer = RecordingTracer()
+        tracer.emit(1.0, "query.issue", qid=1)
+        tracer.emit(2.0, "query.hit", qid=1)
+        assert [e.kind for e in tracer.events] == ["query.issue", "query.hit"]
+
+    def test_payload_preserved(self):
+        tracer = RecordingTracer()
+        tracer.emit(1.0, "cache.insert", file_id=42, peer=7)
+        event = tracer.events[0]
+        assert event.payload == {"file_id": 42, "peer": 7}
+        assert event.time == 1.0
+
+    def test_of_kind_filters(self):
+        tracer = RecordingTracer()
+        tracer.emit(1.0, "a")
+        tracer.emit(2.0, "b")
+        tracer.emit(3.0, "a")
+        assert len(tracer.of_kind("a")) == 2
+
+    def test_count(self):
+        tracer = RecordingTracer()
+        for _ in range(3):
+            tracer.emit(0.0, "x")
+        assert tracer.count("x") == 3
+        assert tracer.count("y") == 0
+
+    def test_kind_filter_at_construction(self):
+        tracer = RecordingTracer(kinds=["keep"])
+        tracer.emit(0.0, "keep")
+        tracer.emit(0.0, "drop")
+        assert [e.kind for e in tracer.events] == ["keep"]
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        tracer.emit(0.0, "x")
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestPrintTracer:
+    def test_writes_through_sink(self):
+        lines = []
+        tracer = PrintTracer(sink=lines.append)
+        tracer.emit(1.5, "query.issue", qid=3)
+        assert len(lines) == 1
+        assert "query.issue" in lines[0]
+        assert "qid=3" in lines[0]

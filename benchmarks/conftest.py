@@ -28,19 +28,37 @@ from repro.experiments import (
 )
 
 
+def _env_int(name: str, default: int) -> int:
+    """Parse an integer tuning knob from the environment.
+
+    A malformed value aborts collection with a usage error naming the
+    variable, instead of surfacing as a bare ``ValueError`` deep inside
+    a fixture.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
 def bench_queries() -> int:
     """Figure-bench query horizon (env-tunable)."""
-    return int(os.environ.get("REPRO_BENCH_QUERIES", BENCH_MAX_QUERIES))
+    return _env_int("REPRO_BENCH_QUERIES", BENCH_MAX_QUERIES)
 
 
 def ablation_queries() -> int:
     """Ablation-bench query horizon (env-tunable)."""
-    return int(os.environ.get("REPRO_BENCH_ABLATION_QUERIES", 400))
+    return _env_int("REPRO_BENCH_ABLATION_QUERIES", 400)
 
 
 def bench_seed() -> int:
     """Master seed for every bench (env-tunable)."""
-    return int(os.environ.get("REPRO_BENCH_SEED", 20090322))
+    return _env_int("REPRO_BENCH_SEED", 20090322)
 
 
 @pytest.fixture(scope="session")

@@ -21,6 +21,7 @@ from .persistence import (
     save_comparison,
 )
 from .report import claims_report, comparison_report, markdown_table
+from .sweep_report import SweepRow, aggregate_sweep, render_sweep_report
 from .tables import format_percent, format_series_table, format_table
 
 __all__ = [
@@ -47,4 +48,7 @@ __all__ = [
     "cdf_points",
     "render_chart",
     "render_figure_chart",
+    "SweepRow",
+    "aggregate_sweep",
+    "render_sweep_report",
 ]

@@ -34,7 +34,12 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     lower = int(math.floor(rank))
     upper = min(lower + 1, n - 1)
     weight = rank - lower
-    return float(sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight)
+    lo = float(sorted_values[lower])
+    hi = float(sorted_values[upper])
+    # One-sided lerp (numpy's formulation): exact when lo == hi, so the
+    # result stays monotone in q even for subnormal values, where
+    # lo*(1-w) + hi*w underflows to 0.
+    return lo + (hi - lo) * weight
 
 
 @dataclass(frozen=True)

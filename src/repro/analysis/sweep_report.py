@@ -1,0 +1,114 @@
+"""Aggregating and rendering sweep-runner grids.
+
+Works duck-typed on any report shaped like
+:class:`~repro.experiments.sweep.SweepReport` (``protocols``,
+``scenarios``, ``seeds``, ``max_queries``, and ``seed_runs()``), the
+same way :mod:`repro.analysis.persistence` treats comparisons — the
+analysis layer never imports the experiments layer.
+
+:func:`aggregate_sweep` reduces each (scenario, protocol) row to its
+seed-averaged headline numbers; :func:`render_sweep_report` prints one
+table per scenario plus a cross-scenario Locaware summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from .tables import format_percent, format_table
+
+__all__ = ["SweepRow", "aggregate_sweep", "render_sweep_report"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Seed-averaged headline metrics of one (scenario, protocol) row."""
+
+    scenario: str
+    protocol: str
+    seeds: int
+    success_rate: float
+    mean_messages: float
+    mean_download_distance_ms: float
+    locally_satisfied: float
+    sim_time_s: float
+
+
+def _mean(values: List[float]) -> float:
+    clean = [v for v in values if not math.isnan(v)]
+    return sum(clean) / len(clean) if clean else math.nan
+
+
+def aggregate_sweep(report: Any) -> Dict[Tuple[str, str], SweepRow]:
+    """Reduce a sweep grid to seed-averaged rows, keyed (scenario, protocol)."""
+    rows: Dict[Tuple[str, str], SweepRow] = {}
+    for scenario in report.scenarios:
+        for protocol in report.protocols:
+            runs = report.seed_runs(protocol, scenario)
+            rows[(scenario, protocol)] = SweepRow(
+                scenario=scenario,
+                protocol=protocol,
+                seeds=len(runs),
+                success_rate=_mean([r.summary.success_rate for r in runs]),
+                mean_messages=_mean([r.summary.mean_messages for r in runs]),
+                mean_download_distance_ms=_mean(
+                    [r.summary.mean_download_distance_ms for r in runs]
+                ),
+                locally_satisfied=_mean(
+                    [float(r.locally_satisfied) for r in runs]
+                ),
+                sim_time_s=_mean([r.sim_time_s for r in runs]),
+            )
+    return rows
+
+
+def render_sweep_report(report: Any) -> str:
+    """Human-readable sweep report: one table per scenario."""
+    rows = aggregate_sweep(report)
+    blocks: List[str] = [
+        f"Sweep grid: {len(report.protocols)} protocols × "
+        f"{len(report.scenarios)} scenarios × {len(report.seeds)} seeds "
+        f"({report.max_queries} queries per cell)"
+    ]
+    for scenario in report.scenarios:
+        table_rows = []
+        for protocol in report.protocols:
+            row = rows[(scenario, protocol)]
+            table_rows.append(
+                [
+                    protocol,
+                    format_percent(row.success_rate),
+                    row.mean_messages,
+                    row.mean_download_distance_ms,
+                    row.locally_satisfied,
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["protocol", "success", "msgs/query", "distance ms", "local hits"],
+                table_rows,
+                title=f"scenario: {scenario} (mean over {len(report.seeds)} seeds)",
+            )
+        )
+    if "locaware" in report.protocols and len(report.scenarios) > 1:
+        summary_rows = []
+        for scenario in report.scenarios:
+            row = rows[(scenario, "locaware")]
+            summary_rows.append(
+                [
+                    scenario,
+                    format_percent(row.success_rate),
+                    row.mean_messages,
+                    row.mean_download_distance_ms,
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["scenario", "success", "msgs/query", "distance ms"],
+                summary_rows,
+                title="locaware across scenarios",
+            )
+        )
+    return "\n\n".join(blocks)

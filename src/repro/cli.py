@@ -8,7 +8,9 @@ Subcommands:
   JSON result;
 - ``ablation`` — run one ablation sweep (a1..a8, ext, ext2);
 - ``report``   — emit the markdown paper-vs-measured report;
-- ``sweep``    — claim robustness across several seeds;
+- ``sweep``    — run a protocol × scenario × seed grid, optionally in
+  parallel worker processes (``--workers``);
+- ``seed-sweep`` — claim robustness across several seeds;
 - ``info``     — show the §5.1 configuration and the system inventory.
 
 Examples::
@@ -17,7 +19,9 @@ Examples::
     repro-locaware claims --load run.json
     repro-locaware ablation a6
     repro-locaware report --load run.json > measured.md
-    repro-locaware sweep --seeds 1 2 3 --queries 1000
+    repro-locaware sweep --scenarios flash-crowd diurnal --workers 4
+    repro-locaware sweep --list
+    repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
 """
 
 from __future__ import annotations
@@ -38,11 +42,13 @@ from .analysis import (
 from .experiments import (
     BENCH_BUCKET_WIDTH,
     BENCH_MAX_QUERIES,
+    DEFAULT_PROTOCOL_ORDER,
     fig2_download_distance,
     fig3_search_traffic,
     fig4_success_rate,
     paper_config,
     run_comparison,
+    small_config,
 )
 from .experiments.ablations import (
     ablate_bloom_size,
@@ -101,9 +107,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(report)
     report.add_argument("--load", metavar="FILE", help="use a saved JSON result")
 
-    sweep = sub.add_parser("sweep", help="claim robustness across seeds")
-    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
-    sweep.add_argument("--queries", type=int, default=1000)
+    sweep = sub.add_parser(
+        "sweep", help="run a protocol × scenario × seed grid (parallelisable)"
+    )
+    sweep.add_argument(
+        "--protocols",
+        nargs="+",
+        default=list(DEFAULT_PROTOCOL_ORDER),
+        metavar="NAME",
+        help=f"protocols to run (default: all of {' '.join(DEFAULT_PROTOCOL_ORDER)})",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="scenarios to run (default: every registered scenario)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[20090322, 20090323],
+        help="master seeds, one full grid slice per seed",
+    )
+    sweep.add_argument("--queries", type=int, default=200)
+    sweep.add_argument("--bucket", type=int, default=None)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    sweep.add_argument(
+        "--config",
+        choices=("paper", "small"),
+        default="paper",
+        help="base configuration preset (small = 60-peer test system)",
+    )
+    sweep.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+
+    seed_sweep = sub.add_parser(
+        "seed-sweep", help="claim robustness across seeds"
+    )
+    seed_sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    seed_sweep.add_argument("--queries", type=int, default=1000)
 
     sub.add_parser("info", help="show the paper configuration")
     return parser
@@ -191,6 +236,42 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    from .analysis.sweep_report import render_sweep_report
+    from .experiments.sweep import SweepRunner
+    from .scenarios import SCENARIO_REGISTRY, scenario_names
+
+    if args.list:
+        print("Registered scenarios:", file=out)
+        for name in scenario_names():
+            print(f"  {name:<18} {SCENARIO_REGISTRY[name].description}", file=out)
+        return 0
+    scenarios = args.scenarios if args.scenarios else scenario_names()
+    base = small_config() if args.config == "small" else paper_config()
+    try:
+        runner = SweepRunner(
+            base_config=base,
+            protocols=args.protocols,
+            scenarios=scenarios,
+            seeds=args.seeds,
+            max_queries=args.queries,
+            bucket_width=args.bucket,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    started = time.time()
+    report = runner.run(
+        progress=lambda m: print(
+            f"  [{time.time() - started:6.1f}s] {m}", file=out, flush=True
+        )
+    )
+    print(f"  {report.num_cells} cells in {time.time() - started:.1f}s\n", file=out)
+    print(render_sweep_report(report), file=out)
+    return 0
+
+
+def _cmd_seed_sweep(args: argparse.Namespace, out) -> int:
     from .experiments.robustness import run_seed_sweep
 
     sweep = run_seed_sweep(
@@ -207,8 +288,11 @@ def _cmd_info(args: argparse.Namespace, out) -> int:
     print("Paper configuration (§5.1):", file=out)
     for key, value in sorted(config.to_dict().items()):
         print(f"  {key:<24} {value}", file=out)
+    from .scenarios import scenario_names
+
     print("\nProtocols: flooding, dicas, dicas-keys, locaware", file=out)
     print("Ablations:", ", ".join(sorted(_ABLATIONS)), file=out)
+    print("Scenarios:", ", ".join(scenario_names()), file=out)
     return 0
 
 
@@ -218,6 +302,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "seed-sweep": _cmd_seed_sweep,
     "info": _cmd_info,
 }
 

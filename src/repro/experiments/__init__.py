@@ -20,6 +20,7 @@ from .setup import (
     paper_config,
     small_config,
 )
+from .sweep import SweepCell, SweepReport, SweepRunner
 
 __all__ = [
     "paper_config",
@@ -42,4 +43,7 @@ __all__ = [
     "ablations",
     "SeedSweepResult",
     "run_seed_sweep",
+    "SweepCell",
+    "SweepReport",
+    "SweepRunner",
 ]

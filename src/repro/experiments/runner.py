@@ -15,7 +15,7 @@ event queue alive forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 from ..analysis.collectors import (
     MetricSeries,
@@ -30,6 +30,7 @@ from ..protocols.base import QueryOutcome, SearchProtocol
 from ..protocols.dicas import DicasProtocol
 from ..protocols.dicas_keys import DicasKeysProtocol
 from ..protocols.flooding import FloodingProtocol
+from ..scenarios import Scenario, ScenarioContext, get_scenario
 from ..sim.config import SimulationConfig
 from ..sim.tracing import Tracer
 from ..workload.generator import QueryWorkload
@@ -73,6 +74,8 @@ class ProtocolRun:
     sim_time_s: float
     events_processed: int
     metric_snapshot: Dict[str, float]
+    scenario_name: Optional[str] = None
+    """Registered scenario the run used, if any."""
 
 
 @dataclass
@@ -125,20 +128,33 @@ def run_protocol(
     tracer: Optional[Tracer] = None,
     location_aware_routing: bool = False,
     popularity_shift_s: Optional[float] = None,
+    scenario: Union[Scenario, str, None] = None,
 ) -> ProtocolRun:
     """Run one protocol to completion and collect its metrics.
 
     ``popularity_shift_s`` switches the workload to
     :class:`~repro.workload.shifting.ShiftingZipfWorkload` with the
     given re-draw interval (the drift extension).
+
+    ``scenario`` — a :class:`~repro.scenarios.Scenario` instance or
+    registered scenario name — applies the scenario's config overrides,
+    builds its workload, and runs its install hook.  Mutually exclusive
+    with ``popularity_shift_s``.
     """
     if max_queries < 1:
         raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+    if scenario is not None and popularity_shift_s is not None:
+        raise ValueError("scenario and popularity_shift_s are mutually exclusive")
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if scenario is not None:
+        config = scenario.configure(config)
     network = P2PNetwork.build(config, tracer=tracer)
     protocol = make_protocol(
         protocol_name, network, location_aware_routing=location_aware_routing
     )
     protocol.start()
+    churn: Optional[ChurnProcess] = None
     if config.churn_enabled:
         churn = ChurnProcess(
             network,
@@ -148,8 +164,12 @@ def run_protocol(
             on_rejoin=lambda pid: protocol.init_peer(network.peer(pid)),
         )
         churn.start()
-    if popularity_shift_s is not None:
-        workload: QueryWorkload = ShiftingZipfWorkload(
+    if scenario is not None:
+        workload: QueryWorkload = scenario.build_workload(
+            network, protocol.issue_query, max_queries
+        )
+    elif popularity_shift_s is not None:
+        workload = ShiftingZipfWorkload(
             network,
             protocol.issue_query,
             shift_interval_s=popularity_shift_s,
@@ -158,6 +178,12 @@ def run_protocol(
     else:
         workload = QueryWorkload(
             network, protocol.issue_query, max_queries=max_queries
+        )
+    if scenario is not None:
+        scenario.install(
+            ScenarioContext(
+                network=network, protocol=protocol, workload=workload, churn=churn
+            )
         )
     workload.start()
     _drive(network, protocol, workload, max_queries)
@@ -174,6 +200,7 @@ def run_protocol(
         sim_time_s=network.sim.now,
         events_processed=network.sim.events_processed,
         metric_snapshot=network.metrics.snapshot(),
+        scenario_name=scenario.name if scenario is not None else None,
     )
 
 

@@ -1,0 +1,227 @@
+"""Protocol × scenario × seed sweeps, optionally across processes.
+
+The grid's cells are embarrassingly parallel: every cell is one
+self-contained, seed-deterministic :func:`~repro.experiments.runner.
+run_protocol` call (its own simulator, network, and named random
+streams), so :class:`SweepRunner` can fan cells out over a
+``multiprocessing`` pool with no shared state and no ordering effects —
+``workers=1`` and ``workers=N`` produce identical results cell for
+cell, which ``tests/test_determinism.py`` locks in.
+
+Usage::
+
+    runner = SweepRunner(
+        base_config=small_config(),
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "flash-crowd"),
+        seeds=(1, 2),
+        max_queries=200,
+        workers=4,
+    )
+    report = runner.run(progress=print)
+    print(render_sweep_report(report))
+
+``repro sweep`` is the CLI face of this module.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..scenarios import get_scenario
+from ..sim.config import SimulationConfig
+from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, ProtocolRun, run_protocol
+from .setup import paper_config
+
+__all__ = ["SweepCell", "SweepReport", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid coordinate: which protocol, under which regime, which seed."""
+
+    protocol: str
+    scenario: str
+    seed: int
+
+
+@dataclass
+class SweepReport:
+    """Every cell's results plus the grid that produced them."""
+
+    base_config: SimulationConfig
+    protocols: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    max_queries: int
+    bucket_width: int
+    runs: Dict[SweepCell, ProtocolRun] = field(default_factory=dict)
+
+    @property
+    def num_cells(self) -> int:
+        """Grid size (protocols × scenarios × seeds)."""
+        return len(self.runs)
+
+    def run_for(self, protocol: str, scenario: str, seed: int) -> ProtocolRun:
+        """The result of one cell."""
+        return self.runs[SweepCell(protocol=protocol, scenario=scenario, seed=seed)]
+
+    def seed_runs(self, protocol: str, scenario: str) -> List[ProtocolRun]:
+        """One (protocol, scenario) row: its runs across all seeds."""
+        return [self.run_for(protocol, scenario, seed) for seed in self.seeds]
+
+    def mean_over_seeds(
+        self, protocol: str, scenario: str, metric: Callable[[ProtocolRun], float]
+    ) -> float:
+        """Average ``metric(run)`` across the seeds of one row.
+
+        NaN cells (e.g. no successful download on one seed) are
+        excluded, matching :func:`repro.analysis.aggregate_sweep`;
+        ``nan`` only when every seed is NaN.
+        """
+        values = [metric(run) for run in self.seed_runs(protocol, scenario)]
+        clean = [v for v in values if not math.isnan(v)]
+        return sum(clean) / len(clean) if clean else math.nan
+
+
+class SweepRunner:
+    """Fans a protocol × scenario × seed grid across worker processes.
+
+    Parameters
+    ----------
+    base_config:
+        Configuration every cell starts from; each cell replaces the
+        seed, then applies its scenario's overrides.  Defaults to the
+        paper's §5.1 setup.
+    protocols / scenarios / seeds:
+        The grid axes.  Protocols and scenarios are validated against
+        their registries up front so a typo fails before any simulation
+        runs.
+    workers:
+        Process count.  ``1`` runs serially in-process (no pool); the
+        effective count never exceeds the number of cells.
+    """
+
+    def __init__(
+        self,
+        base_config: Optional[SimulationConfig] = None,
+        protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
+        scenarios: Sequence[str] = ("baseline",),
+        seeds: Sequence[int] = (20090322,),
+        max_queries: int = 200,
+        bucket_width: Optional[int] = None,
+        workers: int = 1,
+    ) -> None:
+        if not protocols:
+            raise ValueError("at least one protocol is required")
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        if len(set(seeds)) != len(seeds):
+            raise ValueError(f"seeds must be unique, got {list(seeds)}")
+        if max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+        if bucket_width is not None and bucket_width < 1:
+            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        for name in protocols:
+            if name not in PROTOCOL_REGISTRY:
+                raise ValueError(
+                    f"unknown protocol {name!r}; known: {sorted(PROTOCOL_REGISTRY)}"
+                )
+        for name in scenarios:
+            get_scenario(name)  # raises with the known-names list
+        self.base_config = base_config if base_config is not None else paper_config()
+        self.protocols = tuple(protocols)
+        self.scenarios = tuple(scenarios)
+        self.seeds = tuple(seeds)
+        self.max_queries = max_queries
+        self.bucket_width = (
+            bucket_width if bucket_width is not None else max(1, max_queries // 8)
+        )
+        self.workers = workers
+
+    def cells(self) -> List[SweepCell]:
+        """The grid in its deterministic execution order."""
+        return [
+            SweepCell(protocol=protocol, scenario=scenario, seed=seed)
+            for scenario in self.scenarios
+            for protocol in self.protocols
+            for seed in self.seeds
+        ]
+
+    def run(
+        self, progress: Optional[Callable[[str], None]] = None
+    ) -> SweepReport:
+        """Execute every cell and assemble the report.
+
+        ``progress`` (if given) receives one line per completed cell.
+        Results are keyed by :class:`SweepCell`, so completion order —
+        which *does* vary across pools — never affects the report.
+        """
+        cells = self.cells()
+        tasks = [
+            (cell, self.base_config, self.max_queries, self.bucket_width)
+            for cell in cells
+        ]
+        report = SweepReport(
+            base_config=self.base_config,
+            protocols=self.protocols,
+            scenarios=self.scenarios,
+            seeds=self.seeds,
+            max_queries=self.max_queries,
+            bucket_width=self.bucket_width,
+        )
+        workers = min(self.workers, len(tasks))
+        total = len(tasks)
+        if workers == 1:
+            completed = (_run_cell(task) for task in tasks)
+            for done, (cell, run) in enumerate(completed, start=1):
+                report.runs[cell] = run
+                _note(progress, done, total, cell)
+        else:
+            # fork keeps the registries without re-importing; platforms
+            # without it (or with it disabled) fall back to the default
+            # start method, where workers re-import this module and the
+            # scenario library with it.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with context.Pool(processes=workers) as pool:
+                for done, (cell, run) in enumerate(
+                    pool.imap(_run_cell, tasks), start=1
+                ):
+                    report.runs[cell] = run
+                    _note(progress, done, total, cell)
+        return report
+
+
+def _note(
+    progress: Optional[Callable[[str], None]], done: int, total: int, cell: SweepCell
+) -> None:
+    if progress is not None:
+        progress(
+            f"[{done}/{total}] {cell.scenario} × {cell.protocol} "
+            f"(seed {cell.seed})"
+        )
+
+
+def _run_cell(
+    task: Tuple[SweepCell, SimulationConfig, int, int]
+) -> Tuple[SweepCell, ProtocolRun]:
+    """Execute one grid cell (top-level so worker processes can pickle it)."""
+    cell, base_config, max_queries, bucket_width = task
+    run = run_protocol(
+        base_config.replace(seed=cell.seed),
+        cell.protocol,
+        max_queries=max_queries,
+        bucket_width=bucket_width,
+        scenario=cell.scenario,
+    )
+    return cell, run

@@ -49,6 +49,29 @@ class ChurnProcess:
         self.departures = 0
         self.rejoins = 0
 
+    @property
+    def mean_session_s(self) -> float:
+        """Current mean up-time used for future departure timers."""
+        return self._mean_session
+
+    @property
+    def mean_downtime_s(self) -> float:
+        """Current mean off-time used for future rejoin timers."""
+        return self._mean_downtime
+
+    def set_means(self, mean_session_s: float, mean_downtime_s: float) -> None:
+        """Change the session/downtime means for *future* timers.
+
+        Timers already armed keep their original delays; only
+        departures/rejoins scheduled after this call see the new means.
+        Used by scenario hooks (e.g. a churn storm collapsing session
+        times mid-run and later restoring them).
+        """
+        if mean_session_s <= 0 or mean_downtime_s <= 0:
+            raise ValueError("session and downtime means must be positive")
+        self._mean_session = mean_session_s
+        self._mean_downtime = mean_downtime_s
+
     def start(self) -> None:
         """Arm the first departure timer of every peer."""
         for peer in self._network.peers:

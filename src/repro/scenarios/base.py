@@ -1,0 +1,146 @@
+"""Scenario abstraction and registry.
+
+A *scenario* packages one deployment regime the reproduction should be
+exercised under: a set of :class:`~repro.sim.config.SimulationConfig`
+overrides, a workload (built on the :mod:`repro.workload` machinery),
+and an optional post-build hook that installs mid-run events (e.g. a
+churn storm collapsing session times).
+
+Scenarios are stateless: all per-run state lives in the workload and
+the :class:`ScenarioContext`, so one registered instance can be reused
+across runs, seeds, and worker processes without cross-talk — which is
+what makes the parallel sweep runner's cells reproducible.
+
+Register a scenario with the :func:`register_scenario` decorator::
+
+    @register_scenario
+    class FlashCrowd(Scenario):
+        name = "flash-crowd"
+        description = "sudden popularity spike on one file"
+        ...
+
+and look it up by name with :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
+
+from ..overlay.churn import ChurnProcess
+from ..overlay.network import P2PNetwork
+from ..sim.config import SimulationConfig
+from ..workload.generator import QueryWorkload
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "SCENARIO_REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "expected_horizon_s",
+]
+
+#: Protocol-issue callback signature shared with the workload layer.
+IssueFn = Callable[[int, int, Tuple[str, ...]], None]
+
+
+def expected_horizon_s(
+    config: SimulationConfig, max_queries: Optional[int]
+) -> Optional[float]:
+    """Rough virtual duration of a run: ``max_queries`` arrivals at the
+    nominal system rate (every peer alive).
+
+    Scenarios use this to place mid-run events (popularity spikes,
+    churn storms) *inside* the run whatever the configuration's scale,
+    instead of hard-coding absolute times that a short horizon never
+    reaches.  Pure arithmetic on the config, so it is identical across
+    worker processes.  ``None`` when the workload is unbounded.
+    """
+    if max_queries is None:
+        return None
+    return max_queries / (config.num_peers * config.query_rate_per_peer)
+
+
+@dataclass
+class ScenarioContext:
+    """Everything a scenario's install hook may touch, post-build."""
+
+    network: P2PNetwork
+    protocol: object
+    workload: QueryWorkload
+    churn: Optional[ChurnProcess] = None
+
+
+class Scenario:
+    """One named deployment regime.
+
+    Subclasses set :attr:`name`/:attr:`description` and override any of
+    the three hooks.  Every hook must stay deterministic given the
+    network's seeded streams — scenarios may not import ``random`` or
+    read wall-clock time, or the sweep runner's serial/parallel
+    equivalence breaks.
+    """
+
+    #: Registry key, e.g. ``"flash-crowd"``.  Must be unique.
+    name: str = ""
+
+    #: One-line human description (shown by ``repro sweep --list``).
+    description: str = ""
+
+    def configure(self, config: SimulationConfig) -> SimulationConfig:
+        """Apply the scenario's config overrides (default: none)."""
+        return config
+
+    def build_workload(
+        self,
+        network: P2PNetwork,
+        issue: IssueFn,
+        max_queries: Optional[int],
+    ) -> QueryWorkload:
+        """Build the scenario's query workload (default: plain Zipf)."""
+        return QueryWorkload(network, issue, max_queries=max_queries)
+
+    def install(self, ctx: ScenarioContext) -> None:
+        """Install mid-run events after the system is built (default: none).
+
+        Called once per run, after the protocol, churn process (if
+        enabled), and workload have been constructed but before the
+        driver starts advancing time.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: name → registered scenario instance.
+SCENARIO_REGISTRY: Dict[str, Scenario] = {}
+
+S = TypeVar("S", bound=Type[Scenario])
+
+
+def register_scenario(cls: S) -> S:
+    """Class decorator: instantiate ``cls`` and register it by name."""
+    scenario = cls()
+    if not scenario.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    if scenario.name in SCENARIO_REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIO_REGISTRY[scenario.name] = scenario
+    return cls
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIO_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIO_REGISTRY)

@@ -76,6 +76,11 @@ class QueryWorkload:
         return self._generated
 
     @property
+    def max_queries(self) -> Optional[int]:
+        """The generation bound (``None`` = unlimited)."""
+        return self._max_queries
+
+    @property
     def sampler(self) -> ZipfSampler:
         """The popularity sampler (exposed for analysis)."""
         return self._sampler
@@ -103,7 +108,7 @@ class QueryWorkload:
         alive_ids = self._network.alive_peer_ids()
         if alive_ids:
             origin = self._rng.choice(alive_ids)
-            file_id = self._sampler.sample()
+            file_id = self._sample_file(origin)
             keywords = self._pick_keywords(file_id)
             self._generated += 1
             self.history.append(
@@ -117,6 +122,15 @@ class QueryWorkload:
             )
             self._issue(origin, file_id, keywords)
         self._schedule_next()
+
+    def _sample_file(self, origin: int) -> int:
+        """Pick the queried file for an arrival at ``origin``.
+
+        The base workload ignores the origin and draws from the global
+        Zipf popularity; scenario workloads override this to skew demand
+        per region, spike one file, and so on.
+        """
+        return self._sampler.sample()
 
     def _pick_keywords(self, file_id: int) -> Tuple[str, ...]:
         """1–3 random keywords of the queried filename (§5.1)."""

@@ -1,0 +1,62 @@
+"""Tests for the benchmark harness's environment-variable parsing.
+
+``benchmarks/conftest.py`` is not an importable package module, so it
+is loaded here by file path.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture(scope="module")
+def bench_conftest():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEnvParsing:
+    def test_defaults_without_env(self, bench_conftest, monkeypatch):
+        for name in (
+            "REPRO_BENCH_QUERIES",
+            "REPRO_BENCH_ABLATION_QUERIES",
+            "REPRO_BENCH_SEED",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert bench_conftest.bench_queries() == 1500
+        assert bench_conftest.ablation_queries() == 400
+        assert bench_conftest.bench_seed() == 20090322
+
+    def test_valid_overrides(self, bench_conftest, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "250")
+        monkeypatch.setenv("REPRO_BENCH_ABLATION_QUERIES", "60")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "-7")
+        assert bench_conftest.bench_queries() == 250
+        assert bench_conftest.ablation_queries() == 60
+        assert bench_conftest.bench_seed() == -7
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1.5", "1e3", "12 00"])
+    def test_malformed_value_raises_usage_error(
+        self, bench_conftest, monkeypatch, bad
+    ):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", bad)
+        with pytest.raises(pytest.UsageError) as excinfo:
+            bench_conftest.bench_queries()
+        message = str(excinfo.value)
+        assert "REPRO_BENCH_QUERIES" in message
+        assert repr(bad) in message
+
+    def test_malformed_ablation_and_seed_name_the_variable(
+        self, bench_conftest, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_ABLATION_QUERIES", "many")
+        with pytest.raises(pytest.UsageError, match="REPRO_BENCH_ABLATION_QUERIES"):
+            bench_conftest.ablation_queries()
+        monkeypatch.setenv("REPRO_BENCH_SEED", "paper")
+        with pytest.raises(pytest.UsageError, match="REPRO_BENCH_SEED"):
+            bench_conftest.bench_seed()

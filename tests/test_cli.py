@@ -44,6 +44,57 @@ class TestInfo:
         assert "num_peers" in text
         assert "1000" in text
         assert "locaware" in text
+        assert "flash-crowd" in text
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.workers == 1
+        assert args.scenarios is None
+        assert args.config == "paper"
+
+    def test_sweep_list_scenarios(self):
+        code, text = run_cli("sweep", "--list")
+        assert code == 0
+        for name in (
+            "baseline", "flash-crowd", "regional-hotspot",
+            "churn-storm", "cold-start", "diurnal",
+        ):
+            assert name in text
+
+    def test_sweep_rejects_unknown_scenario_cleanly(self):
+        code, text = run_cli("sweep", "--scenarios", "meteor-strike", "--queries", "5")
+        assert code == 2
+        assert "unknown scenario 'meteor-strike'" in text
+        assert "flash-crowd" in text  # the error lists the known names
+
+    def test_sweep_rejects_duplicate_seeds_cleanly(self):
+        code, text = run_cli("sweep", "--seeds", "1", "1", "--queries", "5")
+        assert code == 2
+        assert "unique" in text
+
+    def test_sweep_runs_small_grid_in_parallel(self):
+        code, text = run_cli(
+            "sweep",
+            "--config", "small",
+            "--protocols", "flooding", "locaware",
+            "--scenarios", "flash-crowd", "baseline",
+            "--seeds", "1", "2",
+            "--queries", "10",
+            "--workers", "2",
+        )
+        assert code == 0
+        assert "8 cells" in text
+        assert "scenario: flash-crowd" in text
+        assert "scenario: baseline" in text
+        assert "locaware across scenarios" in text
+
+    def test_seed_sweep_parses(self):
+        args = build_parser().parse_args(["seed-sweep", "--seeds", "1", "2"])
+        assert args.command == "seed-sweep"
+        assert args.seeds == [1, 2]
 
 
 class TestRoundtrip:

@@ -1,0 +1,159 @@
+"""Determinism/regression harness.
+
+Two guarantees are locked in here:
+
+1. **Replay determinism** — for every protocol in ``PROTOCOL_REGISTRY``
+   (and every registered scenario), two ``run_protocol`` calls with the
+   same seed produce identical outcomes, summaries, and metric
+   snapshots.
+2. **Parallel equivalence** — the multiprocessing ``SweepRunner``
+   reproduces the serial (``workers=1``) results cell for cell,
+   byte-identically once serialised.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (
+    PROTOCOL_REGISTRY,
+    SweepRunner,
+    run_protocol,
+    small_config,
+)
+from repro.scenarios import scenario_names
+
+
+def _config(seed=5):
+    return small_config(seed=seed).replace(query_rate_per_peer=0.02)
+
+
+def run_fingerprint(run):
+    """A byte-exact JSON fingerprint of everything a run measured.
+
+    NaN-bearing floats are serialised via ``repr`` so that two NaNs
+    fingerprint identically (``nan != nan`` under ``==``).
+    """
+    return json.dumps(
+        {
+            "protocol": run.protocol_name,
+            "scenario": run.scenario_name,
+            "outcomes": [
+                [
+                    o.query_id,
+                    o.index,
+                    o.origin,
+                    o.target_file,
+                    list(o.keywords),
+                    repr(o.issued_at),
+                    o.success,
+                    repr(o.download_distance_ms),
+                    o.messages,
+                    o.responses,
+                    o.provider,
+                    o.downloaded_file,
+                ]
+                for o in run.outcomes
+            ],
+            "summary": [
+                run.summary.queries,
+                run.summary.successes,
+                repr(run.summary.success_rate),
+                repr(run.summary.mean_messages),
+                repr(run.summary.mean_download_distance_ms),
+                repr(run.summary.mean_responses),
+            ],
+            "series_edges": run.series.bucket_edges(),
+            "series_means": [
+                repr(v) for v in run.series.search_traffic.windowed_means()
+            ],
+            "locally_satisfied": run.locally_satisfied,
+            "sim_time_s": repr(run.sim_time_s),
+            "events_processed": run.events_processed,
+            "metrics": {k: repr(v) for k, v in sorted(run.metric_snapshot.items())},
+        },
+        sort_keys=True,
+    )
+
+
+class TestRunProtocolDeterminism:
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_same_seed_same_results(self, protocol):
+        a = run_protocol(_config(), protocol, max_queries=40, bucket_width=20)
+        b = run_protocol(_config(), protocol, max_queries=40, bucket_width=20)
+        assert run_fingerprint(a) == run_fingerprint(b)
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_summary_and_snapshot_equal(self, protocol):
+        """The summary dataclass and snapshot dict compare equal directly
+        (not just via fingerprint) whenever no field is NaN."""
+        a = run_protocol(_config(), protocol, max_queries=40, bucket_width=20)
+        b = run_protocol(_config(), protocol, max_queries=40, bucket_width=20)
+        assert a.metric_snapshot == b.metric_snapshot
+        if not math.isnan(a.summary.mean_download_distance_ms):
+            assert a.summary == b.summary
+
+    def test_different_seeds_differ(self):
+        """Sanity: the fingerprint is sensitive enough to see a seed change."""
+        a = run_protocol(_config(seed=5), "dicas", max_queries=40, bucket_width=20)
+        b = run_protocol(_config(seed=6), "dicas", max_queries=40, bucket_width=20)
+        assert run_fingerprint(a) != run_fingerprint(b)
+
+    @pytest.mark.parametrize("scenario", scenario_names())
+    def test_every_scenario_is_deterministic(self, scenario):
+        a = run_protocol(
+            _config(), "locaware", max_queries=25, bucket_width=25,
+            scenario=scenario,
+        )
+        b = run_protocol(
+            _config(), "locaware", max_queries=25, bucket_width=25,
+            scenario=scenario,
+        )
+        assert a.scenario_name == scenario
+        assert run_fingerprint(a) == run_fingerprint(b)
+
+
+class TestSweepParallelEquivalence:
+    GRID = dict(
+        protocols=("flooding", "dicas", "dicas-keys", "locaware"),
+        scenarios=("baseline", "flash-crowd", "churn-storm"),
+        seeds=(3, 4),
+        max_queries=25,
+    )
+
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        serial = SweepRunner(
+            base_config=_config(), workers=1, **self.GRID
+        ).run()
+        parallel = SweepRunner(
+            base_config=_config(), workers=3, **self.GRID
+        ).run()
+        return serial, parallel
+
+    def test_same_cells(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert set(serial.runs) == set(parallel.runs)
+        assert serial.num_cells == 4 * 3 * 2
+
+    def test_cell_for_cell_byte_identical(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        for cell, serial_run in serial.runs.items():
+            parallel_run = parallel.runs[cell]
+            assert run_fingerprint(serial_run) == run_fingerprint(parallel_run), (
+                f"parallel run diverged from serial at {cell}"
+            )
+
+    def test_sweep_reproduces_direct_run_protocol(self, serial_and_parallel):
+        """A sweep cell equals a hand-rolled run_protocol call."""
+        serial, _ = serial_and_parallel
+        cell_run = serial.run_for("locaware", "flash-crowd", 3)
+        direct = run_protocol(
+            _config().replace(seed=3),
+            "locaware",
+            max_queries=self.GRID["max_queries"],
+            bucket_width=serial.bucket_width,
+            scenario="flash-crowd",
+        )
+        assert run_fingerprint(cell_run) == run_fingerprint(direct)

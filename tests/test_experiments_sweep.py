@@ -1,0 +1,120 @@
+"""Unit tests for the protocol × scenario × seed sweep runner."""
+
+import pytest
+
+from repro.analysis import aggregate_sweep, render_sweep_report
+from repro.experiments import SweepCell, SweepRunner, small_config
+
+
+def _runner(**overrides):
+    defaults = dict(
+        base_config=small_config(seed=1).replace(query_rate_per_peer=0.02),
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "diurnal"),
+        seeds=(1, 2),
+        max_queries=15,
+        workers=1,
+    )
+    defaults.update(overrides)
+    return SweepRunner(**defaults)
+
+
+class TestValidation:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            _runner(protocols=("gossip",))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            _runner(scenarios=("meteor-strike",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            _runner(protocols=())
+        with pytest.raises(ValueError):
+            _runner(scenarios=())
+        with pytest.raises(ValueError):
+            _runner(seeds=())
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            _runner(seeds=(1, 1))
+
+    def test_bad_workers_and_queries_rejected(self):
+        with pytest.raises(ValueError):
+            _runner(workers=0)
+        with pytest.raises(ValueError):
+            _runner(max_queries=0)
+        with pytest.raises(ValueError, match="bucket_width"):
+            _runner(bucket_width=0)
+
+    def test_default_bucket_width(self):
+        assert _runner(max_queries=80).bucket_width == 10
+        assert _runner(max_queries=4).bucket_width == 1
+
+
+class TestGrid:
+    def test_cells_cover_full_grid_in_order(self):
+        runner = _runner()
+        cells = runner.cells()
+        assert len(cells) == 2 * 2 * 2
+        assert cells[0] == SweepCell("flooding", "baseline", 1)
+        assert cells[1] == SweepCell("flooding", "baseline", 2)
+        assert cells[-1] == SweepCell("locaware", "diurnal", 2)
+        assert len(set(cells)) == len(cells)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return _runner().run()
+
+    def test_every_cell_has_a_run(self, report):
+        assert report.num_cells == 8
+        for cell in _runner().cells():
+            run = report.runs[cell]
+            assert run.protocol_name == cell.protocol
+            assert run.scenario_name == cell.scenario
+            assert run.config.seed == cell.seed
+
+    def test_accessors(self, report):
+        run = report.run_for("locaware", "baseline", 2)
+        assert run.protocol_name == "locaware"
+        assert len(report.seed_runs("flooding", "diurnal")) == 2
+        mean = report.mean_over_seeds(
+            "flooding", "baseline", lambda r: r.summary.queries
+        )
+        assert mean > 0
+
+    def test_progress_lines_one_per_cell(self):
+        lines = []
+        _runner(scenarios=("baseline",), seeds=(1,)).run(progress=lines.append)
+        assert len(lines) == 2
+        assert "[1/2]" in lines[0] and "[2/2]" in lines[1]
+        assert "baseline" in lines[0]
+
+    def test_workers_capped_by_cells(self):
+        report = _runner(
+            protocols=("flooding",), scenarios=("baseline",), seeds=(1,),
+            workers=8,
+        ).run()
+        assert report.num_cells == 1
+
+    def test_aggregate_rows(self, report):
+        rows = aggregate_sweep(report)
+        assert set(rows) == {
+            (scenario, protocol)
+            for scenario in ("baseline", "diurnal")
+            for protocol in ("flooding", "locaware")
+        }
+        row = rows[("baseline", "flooding")]
+        assert row.seeds == 2
+        assert 0.0 <= row.success_rate <= 1.0
+        assert row.mean_messages > 0
+
+    def test_render_report(self, report):
+        text = render_sweep_report(report)
+        assert "scenario: baseline" in text
+        assert "scenario: diurnal" in text
+        assert "locaware across scenarios" in text
+        assert "2 protocols × 2 scenarios × 2 seeds" in text

@@ -257,3 +257,82 @@ class TestPeriodicProcess:
     def test_nonpositive_period_rejected(self):
         with pytest.raises(SchedulingError):
             PeriodicProcess(Simulator(), 0.0, lambda: None)
+
+    def test_initial_delay_zero_fires_immediately(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 2.0, lambda: times.append(sim.now), initial_delay=0)
+        sim.run(until=5.0)
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_initial_delay_zero_after_time_advanced(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        times = []
+        PeriodicProcess(sim, 1.0, lambda: times.append(sim.now), initial_delay=0)
+        sim.run(until=5.0)
+        assert times == [3.0, 4.0, 5.0]
+
+
+class TestRunEdgeCases:
+    """max_events × until interplay and peek after mass cancellation."""
+
+    def test_max_events_stops_before_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, t)
+        assert sim.run(until=2.5, max_events=1) == 1
+        assert seen == [1.0]
+        # Events remain inside the window, so the clock must NOT jump
+        # to `until` — that would let them fire "in the past" later.
+        assert sim.now == 1.0
+
+    def test_resume_after_max_events_respects_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, t)
+        sim.run(until=2.5, max_events=1)
+        assert sim.run(until=2.5) == 1
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.5
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_max_events_zero_like_budget_counts_live_events_only(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, seen.append, 2.0)
+        sim.schedule(3.0, seen.append, 3.0)
+        # The cancelled event must not consume the budget.
+        assert sim.run(max_events=1) == 1
+        assert seen == [2.0]
+
+    def test_max_events_with_until_advances_clock_when_drained(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=4.0, max_events=10) == 1
+        assert sim.now == 4.0
+
+    def test_peek_time_after_mass_cancellation(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.peek_time() is None
+        # peek purges the dead prefix eagerly.
+        assert sim.pending_events == 0
+        assert sim.run() == 0
+
+    def test_peek_time_after_mass_cancellation_with_survivor(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+        survivor_time = 99.0
+        sim.schedule(survivor_time, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        assert sim.peek_time() == survivor_time
+        assert sim.pending_events == 1

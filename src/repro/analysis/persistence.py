@@ -88,6 +88,7 @@ def comparison_to_document(result: Any) -> Dict[str, Any]:
         "format_version": _FORMAT_VERSION,
         "kind": "comparison",
         "config": result.config.to_dict(),
+        "scenario": getattr(result, "scenario_name", None),
         "max_queries": result.max_queries,
         "bucket_width": result.bucket_width,
         "runs": runs,
@@ -154,6 +155,10 @@ class LoadedComparison:
     max_queries: int
     bucket_width: int
     runs: Dict[str, _LoadedRun]
+    scenario_name: Any = None
+    """Registered scenario the persisted runs used, if any (``None``
+    for baseline documents and documents written before the field
+    existed)."""
 
     def summaries(self) -> Dict[str, OutcomeSummary]:
         """Per-protocol aggregates, mirroring ComparisonResult."""
@@ -224,4 +229,5 @@ def load_comparison_document(source: IO[str]) -> LoadedComparison:
         max_queries=doc["max_queries"],
         bucket_width=doc["bucket_width"],
         runs=runs,
+        scenario_name=doc.get("scenario"),
     )

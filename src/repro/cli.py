@@ -2,24 +2,29 @@
 
 Subcommands:
 
-- ``figures``  — run the four-protocol comparison and print Figures 2-4
-  plus the §5.2 claim checks (optionally persisting the result);
+- ``figures`` (alias ``compare``) — run the four-protocol comparison
+  and print Figures 2-4 plus the §5.2 claim checks, optionally under a
+  registered scenario (``--scenario``) and optionally persisting the
+  result; the topology is built once and instantiated per protocol;
 - ``claims``   — evaluate the claim checks on a fresh run or a saved
   JSON result;
 - ``ablation`` — run one ablation sweep (a1..a8, ext, ext2);
 - ``report``   — emit the markdown paper-vs-measured report;
 - ``sweep``    — run a protocol × scenario × seed grid, optionally in
-  parallel worker processes (``--workers``);
+  parallel worker processes (``--workers``) and with per-worker
+  topology-build reuse (``--reuse-builds``);
 - ``seed-sweep`` — claim robustness across several seeds;
 - ``info``     — show the §5.1 configuration and the system inventory.
 
 Examples::
 
     repro-locaware figures --queries 500 --save run.json
+    repro-locaware compare --scenario flash-crowd --queries 500
     repro-locaware claims --load run.json
     repro-locaware ablation a6
     repro-locaware report --load run.json > measured.md
     repro-locaware sweep --scenarios flash-crowd diurnal --workers 4
+    repro-locaware sweep --workers 4 --reuse-builds
     repro-locaware sweep --list
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
 """
@@ -87,8 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    figures = sub.add_parser("figures", help="run Figures 2-4 + claim checks")
+    figures = sub.add_parser(
+        "figures",
+        aliases=["compare"],
+        help="run the four-protocol comparison: Figures 2-4 + claim checks",
+    )
     _add_run_options(figures)
+    figures.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help="run the comparison under a registered scenario "
+        "(default: the paper's baseline regime)",
+    )
+    figures.add_argument(
+        "--location-aware-routing",
+        action="store_true",
+        help="enable Locaware's location-aware routing extension",
+    )
     figures.add_argument("--save", metavar="FILE", help="persist the result as JSON")
     figures.add_argument(
         "--chart", action="store_true", help="also render ASCII line charts"
@@ -135,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results are identical either way)",
     )
     sweep.add_argument(
+        "--reuse-builds",
+        action="store_true",
+        help="build each distinct topology once per worker and instantiate "
+        "it per cell (identical results, much faster on expensive "
+        "substrates such as --config paper with the router latency model)",
+    )
+    sweep.add_argument(
         "--config",
         choices=("paper", "small"),
         default="paper",
@@ -168,6 +196,8 @@ def _fresh_comparison(args: argparse.Namespace, out) -> object:
         bucket_width=args.bucket,
         progress=lambda m: print(f"  [{time.time() - started:6.1f}s] {m}",
                                  file=out, flush=True),
+        scenario=getattr(args, "scenario", None),
+        location_aware_routing=getattr(args, "location_aware_routing", False),
     )
     print(f"  done in {time.time() - started:.1f}s\n", file=out)
     return result
@@ -181,6 +211,14 @@ def _load_or_run(args: argparse.Namespace, out) -> object:
 
 
 def _cmd_figures(args: argparse.Namespace, out) -> int:
+    if getattr(args, "scenario", None) is not None:
+        from .scenarios import get_scenario
+
+        try:
+            get_scenario(args.scenario)
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
     result = _fresh_comparison(args, out)
     for module in (fig2_download_distance, fig3_search_traffic, fig4_success_rate):
         print(module.render(result), file=out)
@@ -203,6 +241,13 @@ def _cmd_figures(args: argparse.Namespace, out) -> int:
 
 
 def _print_claims(result, out) -> int:
+    scenario = getattr(result, "scenario_name", None)
+    if scenario is not None and scenario != "baseline":
+        print(
+            f"note: this run used scenario {scenario!r}; the §5.2 claim "
+            "checks target the baseline regime",
+            file=out,
+        )
     checks = check_paper_claims(result.summaries(), result.series())
     failures = 0
     for check in checks:
@@ -256,6 +301,7 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             max_queries=args.queries,
             bucket_width=args.bucket,
             workers=args.workers,
+            reuse_builds=args.reuse_builds,
         )
     except ValueError as error:
         print(f"error: {error}", file=out)
@@ -298,6 +344,7 @@ def _cmd_info(args: argparse.Namespace, out) -> int:
 
 _COMMANDS = {
     "figures": _cmd_figures,
+    "compare": _cmd_figures,
     "claims": _cmd_claims,
     "ablation": _cmd_ablation,
     "report": _cmd_report,

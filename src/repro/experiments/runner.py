@@ -24,6 +24,7 @@ from ..analysis.collectors import (
     summarize_outcomes,
 )
 from ..core.locaware import LocawareProtocol
+from ..overlay.blueprint import NetworkBlueprint
 from ..overlay.churn import ChurnProcess
 from ..overlay.network import P2PNetwork
 from ..protocols.base import QueryOutcome, SearchProtocol
@@ -83,9 +84,15 @@ class ComparisonResult:
     """The four-way comparison backing Figures 2-4."""
 
     config: SimulationConfig
+    """The configuration the runs actually used (after scenario overrides)."""
+
     max_queries: int
     bucket_width: int
     runs: Dict[str, ProtocolRun] = field(default_factory=dict)
+
+    scenario_name: Optional[str] = None
+    """Registered scenario every run used, if any (claim checks target
+    the baseline regime; a persisted scenario comparison must say so)."""
 
     def bucket_edges(self) -> List[int]:
         """Common x-axis across protocols (longest run wins)."""
@@ -129,6 +136,7 @@ def run_protocol(
     location_aware_routing: bool = False,
     popularity_shift_s: Optional[float] = None,
     scenario: Union[Scenario, str, None] = None,
+    blueprint: Optional[NetworkBlueprint] = None,
 ) -> ProtocolRun:
     """Run one protocol to completion and collect its metrics.
 
@@ -140,6 +148,12 @@ def run_protocol(
     registered scenario name — applies the scenario's config overrides,
     builds its workload, and runs its install hook.  Mutually exclusive
     with ``popularity_shift_s``.
+
+    ``blueprint`` — an optional pre-built
+    :class:`~repro.overlay.blueprint.NetworkBlueprint` to instantiate
+    instead of building the world from scratch.  It must carry the same
+    topology fingerprint as the *effective* configuration (after the
+    scenario's overrides); results are byte-identical either way.
     """
     if max_queries < 1:
         raise ValueError(f"max_queries must be >= 1, got {max_queries}")
@@ -148,8 +162,27 @@ def run_protocol(
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if scenario is not None:
-        config = scenario.configure(config)
-    network = P2PNetwork.build(config, tracer=tracer)
+        configured = scenario.configure(config)
+        if (
+            not scenario.touches_topology
+            and configured.topology_fingerprint() != config.topology_fingerprint()
+        ):
+            raise RuntimeError(
+                f"scenario {scenario.name!r} declares touches_topology=False "
+                "but its overrides changed the topology fingerprint; fix the "
+                "declaration or the overrides"
+            )
+        config = configured
+    if blueprint is not None:
+        if not blueprint.compatible_with(config):
+            raise ValueError(
+                "blueprint is topology-incompatible with the effective "
+                f"configuration of this run (protocol {protocol_name!r}, "
+                f"scenario {scenario.name if scenario else None!r})"
+            )
+        network = blueprint.instantiate(config=config, tracer=tracer)
+    else:
+        network = P2PNetwork.build(config, tracer=tracer)
     protocol = make_protocol(
         protocol_name, network, location_aware_routing=location_aware_routing
     )
@@ -215,6 +248,13 @@ def _drive(
         if workload.generated >= max_queries and protocol.pending_queries == 0:
             return
         if network.sim.peek_time() is None:
+            if workload.generated < max_queries:
+                raise RuntimeError(
+                    "event queue drained before the workload finished: "
+                    f"{workload.generated} of {max_queries} queries "
+                    "generated; the workload stopped rescheduling itself "
+                    "(e.g. every peer died with no revival timer armed)"
+                )
             return
         network.sim.run(until=network.sim.now + _TIME_SLICE_S)
     raise RuntimeError(
@@ -228,13 +268,39 @@ def run_comparison(
     bucket_width: int,
     protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
     progress: Optional[Callable[[str], None]] = None,
+    scenario: Union[Scenario, str, None] = None,
+    location_aware_routing: bool = False,
 ) -> ComparisonResult:
-    """Run every requested protocol on the identical workload."""
+    """Run every requested protocol on the identical workload.
+
+    The immutable world is built exactly once (one
+    :class:`~repro.overlay.blueprint.NetworkBlueprint`) and
+    instantiated per protocol — same topology, same catalog, same query
+    stream, a fraction of the construction cost.  ``scenario`` and
+    ``location_aware_routing`` are forwarded to every
+    :func:`run_protocol` call, so the comparison can be produced under
+    any registered regime.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    effective = scenario.configure(config) if scenario is not None else config
+    blueprint = NetworkBlueprint.build(effective)
     result = ComparisonResult(
-        config=config, max_queries=max_queries, bucket_width=bucket_width
+        config=effective,
+        max_queries=max_queries,
+        bucket_width=bucket_width,
+        scenario_name=scenario.name if scenario is not None else None,
     )
     for name in protocols:
         if progress is not None:
             progress(f"running {name} ({max_queries} queries)...")
-        result.runs[name] = run_protocol(config, name, max_queries, bucket_width)
+        result.runs[name] = run_protocol(
+            config,
+            name,
+            max_queries,
+            bucket_width,
+            location_aware_routing=location_aware_routing,
+            scenario=scenario,
+            blueprint=blueprint,
+        )
     return result

@@ -28,15 +28,41 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..overlay.blueprint import NetworkBlueprint
 from ..scenarios import get_scenario
 from ..sim.config import SimulationConfig
 from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, ProtocolRun, run_protocol
 from .setup import paper_config
 
 __all__ = ["SweepCell", "SweepReport", "SweepRunner"]
+
+#: Per-process blueprint cache, keyed by topology fingerprint.  Worker
+#: processes live for the whole sweep (no ``maxtasksperchild``), so a
+#: worker that already built a cell's topology instantiates it for
+#: every later cell with the same fingerprint instead of rebuilding.
+_BLUEPRINT_CACHE: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
+
+#: Blueprints retained per process (small LRU: with reuse-friendly task
+#: ordering, consecutive cells share a fingerprint anyway).
+_BLUEPRINT_CACHE_CAPACITY = 8
+
+
+def _cached_blueprint(config: SimulationConfig) -> NetworkBlueprint:
+    """The blueprint for ``config``, built at most once per process."""
+    fingerprint = config.topology_fingerprint()
+    blueprint = _BLUEPRINT_CACHE.get(fingerprint)
+    if blueprint is None:
+        blueprint = NetworkBlueprint.build(config)
+        _BLUEPRINT_CACHE[fingerprint] = blueprint
+        if len(_BLUEPRINT_CACHE) > _BLUEPRINT_CACHE_CAPACITY:
+            _BLUEPRINT_CACHE.popitem(last=False)
+    else:
+        _BLUEPRINT_CACHE.move_to_end(fingerprint)
+    return blueprint
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,13 @@ class SweepRunner:
     workers:
         Process count.  ``1`` runs serially in-process (no pool); the
         effective count never exceeds the number of cells.
+    reuse_builds:
+        Build each distinct topology at most once per worker process
+        and instantiate it per cell (see
+        :class:`~repro.overlay.blueprint.NetworkBlueprint`), instead of
+        rebuilding the world for every cell.  Cells sharing a scenario
+        and seed share a build; results are byte-identical either way
+        (``tests/test_determinism.py`` locks this in).
     """
 
     def __init__(
@@ -114,6 +147,7 @@ class SweepRunner:
         max_queries: int = 200,
         bucket_width: Optional[int] = None,
         workers: int = 1,
+        reuse_builds: bool = False,
     ) -> None:
         if not protocols:
             raise ValueError("at least one protocol is required")
@@ -145,6 +179,7 @@ class SweepRunner:
             bucket_width if bucket_width is not None else max(1, max_queries // 8)
         )
         self.workers = workers
+        self.reuse_builds = reuse_builds
 
     def cells(self) -> List[SweepCell]:
         """The grid in its deterministic execution order."""
@@ -162,11 +197,26 @@ class SweepRunner:
 
         ``progress`` (if given) receives one line per completed cell.
         Results are keyed by :class:`SweepCell`, so completion order —
-        which *does* vary across pools — never affects the report.
+        which *does* vary across pools and with ``reuse_builds`` —
+        never affects the report.
         """
         cells = self.cells()
+        if self.reuse_builds:
+            # Same-topology cells (same scenario and seed) are made
+            # contiguous and dispatched chunk-wise, so each chunk hits
+            # a worker's blueprint cache after one build.  Cell results
+            # are order-independent, so this only changes scheduling.
+            cells = sorted(
+                cells, key=lambda c: (c.scenario, c.seed, c.protocol)
+            )
         tasks = [
-            (cell, self.base_config, self.max_queries, self.bucket_width)
+            (
+                cell,
+                self.base_config,
+                self.max_queries,
+                self.bucket_width,
+                self.reuse_builds,
+            )
             for cell in cells
         ]
         report = SweepReport(
@@ -193,9 +243,10 @@ class SweepRunner:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
+            chunksize = len(self.protocols) if self.reuse_builds else 1
             with context.Pool(processes=workers) as pool:
                 for done, (cell, run) in enumerate(
-                    pool.imap(_run_cell, tasks), start=1
+                    pool.imap(_run_cell, tasks, chunksize=chunksize), start=1
                 ):
                     report.runs[cell] = run
                     _note(progress, done, total, cell)
@@ -213,15 +264,23 @@ def _note(
 
 
 def _run_cell(
-    task: Tuple[SweepCell, SimulationConfig, int, int]
+    task: Tuple[SweepCell, SimulationConfig, int, int, bool]
 ) -> Tuple[SweepCell, ProtocolRun]:
     """Execute one grid cell (top-level so worker processes can pickle it)."""
-    cell, base_config, max_queries, bucket_width = task
+    cell, base_config, max_queries, bucket_width, reuse_builds = task
+    config = base_config.replace(seed=cell.seed)
+    blueprint: Optional[NetworkBlueprint] = None
+    if reuse_builds:
+        # Key the cache by the *effective* configuration so scenarios
+        # that do touch topology (e.g. cold-start's sparser shares)
+        # still share one build across the protocols of their row.
+        blueprint = _cached_blueprint(get_scenario(cell.scenario).configure(config))
     run = run_protocol(
-        base_config.replace(seed=cell.seed),
+        config,
         cell.protocol,
         max_queries=max_queries,
         bucket_width=bucket_width,
         scenario=cell.scenario,
+        blueprint=blueprint,
     )
     return cell, run

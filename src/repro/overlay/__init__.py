@@ -1,5 +1,6 @@
 """Unstructured P2P overlay substrate: graph, peers, messages, churn."""
 
+from .blueprint import NetworkBlueprint
 from .churn import ChurnProcess
 from .graph import OverlayGraph
 from .messages import BloomUpdate, ProviderEntry, Query, QueryResponse
@@ -15,5 +16,6 @@ __all__ = [
     "QueryResponse",
     "BloomUpdate",
     "P2PNetwork",
+    "NetworkBlueprint",
     "ChurnProcess",
 ]

@@ -1,0 +1,201 @@
+"""Blueprint/instance split: build the immutable world once, run it many times.
+
+Every ``run_protocol`` call used to rebuild the complete immutable
+world — underlay latencies, overlay wiring, file catalog, initial
+shares — even though the same seed deterministically yields the same
+topology.  :class:`NetworkBlueprint` captures that world exactly once:
+
+- :meth:`NetworkBlueprint.build` performs the expensive construction
+  (it consumes precisely the build-time RNG streams,
+  :data:`~repro.sim.config.BUILD_STREAM_NAMES`);
+- :meth:`NetworkBlueprint.instantiate` stamps out a fresh
+  :class:`~repro.overlay.network.P2PNetwork` — new simulator, fresh
+  peers and file stores, a fresh run-time-only stream factory — in a
+  fraction of the build cost.
+
+The split is safe because the world has two sharply different halves:
+
+- **shared, immutable**: the :class:`~repro.net.underlay.Underlay`
+  (positions, latencies, locIds) and the
+  :class:`~repro.files.catalog.FileCatalog` are never mutated after
+  construction, so every instance aliases the blueprint's objects;
+- **copied or rebuilt per instance**: the overlay graph (churn rewires
+  it), the peer population (stores grow with downloads, liveness and
+  protocol state change), the simulator, metrics, and every run-time
+  RNG stream.
+
+Because :class:`~repro.sim.rng.RandomStreams` seeds each named stream
+independently from ``(master_seed, name)``, a fresh factory that never
+draws the build streams produces byte-identical run-time streams — so
+an instantiated run is indistinguishable from a from-scratch build
+(``tests/test_determinism.py`` locks this in, serial and parallel).
+
+Blueprint reuse across *configurations* is governed by
+:meth:`~repro.sim.config.SimulationConfig.topology_fingerprint`: any
+config whose topology-affecting fields match the blueprint's may be
+instantiated on it, with run-time fields (query rates, TTL, cache
+sizes, churn) varying freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..files.catalog import FileCatalog
+from ..files.keywords import KeywordPool
+from ..files.storage import FileStore
+from ..net.underlay import Underlay
+from ..sim.config import BUILD_STREAM_NAMES, SimulationConfig
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.tracing import Tracer
+from .graph import OverlayGraph
+from .network import P2PNetwork
+from .peer import Peer
+
+__all__ = ["NetworkBlueprint", "build_count"]
+
+#: Module-wide tally of topology builds, for benchmarks and tests that
+#: must prove a code path built the world exactly N times.
+_build_count = 0
+
+
+def build_count() -> int:
+    """How many :meth:`NetworkBlueprint.build` calls this process has run."""
+    return _build_count
+
+
+@dataclass(frozen=True)
+class NetworkBlueprint:
+    """The immutable world of one simulated system, ready to instantiate."""
+
+    config: SimulationConfig
+    """The configuration the world was built from."""
+
+    underlay: Underlay
+    """Physical positions, latencies, locIds (immutable; shared)."""
+
+    graph: OverlayGraph
+    """Pristine overlay wiring (copied per instance; churn mutates it)."""
+
+    catalog: FileCatalog
+    """The global file pool (immutable; shared)."""
+
+    gids: Tuple[int, ...]
+    """Per-peer Dicas group ids, indexed by peer id."""
+
+    initial_shares: Tuple[Tuple[int, ...], ...]
+    """Per-peer initial file endowments, indexed by peer id."""
+
+    fingerprint: str
+    """``config.topology_fingerprint()`` at build time (the cache key)."""
+
+    @classmethod
+    def build(cls, config: SimulationConfig) -> "NetworkBlueprint":
+        """Construct the paper's immutable world from a configuration.
+
+        Deterministic for a given ``config.seed``: underlay, overlay
+        wiring, catalog, group ids, and initial shares each draw from
+        their own named build-time stream.
+        """
+        global _build_count
+        _build_count += 1
+        streams = RandomStreams(config.seed)
+        if config.latency_model == "router":
+            from ..net.latency import RouterLevelLatencyModel
+
+            model = RouterLevelLatencyModel(
+                streams.stream("router-topology"),
+                min_latency_ms=config.min_latency_ms,
+                max_latency_ms=config.max_latency_ms,
+            )
+        else:
+            model = None  # Underlay.build defaults to the Euclidean model
+        underlay = Underlay.build(
+            config.num_peers,
+            streams.stream("underlay"),
+            min_latency_ms=config.min_latency_ms,
+            max_latency_ms=config.max_latency_ms,
+            num_landmarks=config.num_landmarks,
+            clustered=(config.peer_placement == "clustered"),
+            model=model,
+        )
+        graph = OverlayGraph.random(
+            config.num_peers, config.mean_degree, streams.stream("overlay")
+        )
+        pool = KeywordPool(config.keyword_pool_size)
+        catalog = FileCatalog.generate(
+            config.num_files,
+            config.keywords_per_file,
+            pool,
+            streams.stream("catalog"),
+        )
+        gid_rng = streams.stream("gids")
+        share_rng = streams.stream("shares")
+        gids = []
+        initial_shares = []
+        for _pid in range(config.num_peers):
+            initial_shares.append(
+                tuple(share_rng.sample(range(config.num_files), config.files_per_peer))
+            )
+            gids.append(gid_rng.randrange(config.group_count))
+        return cls(
+            config=config,
+            underlay=underlay,
+            graph=graph,
+            catalog=catalog,
+            gids=tuple(gids),
+            initial_shares=tuple(initial_shares),
+            fingerprint=config.topology_fingerprint(),
+        )
+
+    def compatible_with(self, config: SimulationConfig) -> bool:
+        """Whether ``config`` may be instantiated on this blueprint."""
+        return config.topology_fingerprint() == self.fingerprint
+
+    def instantiate(
+        self,
+        config: Optional[SimulationConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> P2PNetwork:
+        """Stamp out a fresh, independent :class:`P2PNetwork`.
+
+        ``config`` may override the blueprint's configuration as long
+        as every topology field matches (same fingerprint); this is how
+        a scenario that only touches run-time knobs (churn means, query
+        rates) runs on a cached build.  The returned network has its
+        own simulator, metrics, peers, file stores, overlay copy, and a
+        run-time-only stream factory — nothing run-mutable is shared
+        with other instances.
+        """
+        cfg = self.config if config is None else config
+        if cfg is not self.config and not self.compatible_with(cfg):
+            raise ValueError(
+                "config is topology-incompatible with this blueprint "
+                f"(fingerprint {cfg.topology_fingerprint()[:12]}... != "
+                f"{self.fingerprint[:12]}...); rebuild instead of instantiating"
+            )
+        streams = RandomStreams(cfg.seed, forbidden=BUILD_STREAM_NAMES)
+        peers = []
+        for pid in range(cfg.num_peers):
+            store = FileStore(self.catalog)
+            store.add_many(self.initial_shares[pid])
+            peers.append(
+                Peer(
+                    peer_id=pid,
+                    locid=self.underlay.locid_of(pid),
+                    gid=self.gids[pid],
+                    store=store,
+                )
+            )
+        return P2PNetwork(
+            config=cfg,
+            sim=Simulator(),
+            underlay=self.underlay,
+            graph=self.graph.copy(),
+            peers=peers,
+            catalog=self.catalog,
+            streams=streams,
+            tracer=tracer,
+        )

@@ -65,6 +65,17 @@ class OverlayGraph:
             graph._connect_components(rng)
         return graph
 
+    def copy(self) -> "OverlayGraph":
+        """An independent deep copy of the current wiring.
+
+        The overlay is mutated at run time (churn tears down and
+        rebuilds links), so a cached blueprint hands every
+        instantiation its own copy of the pristine graph.
+        """
+        clone = OverlayGraph(0)
+        clone._adjacency = {pid: set(links) for pid, links in self._adjacency.items()}
+        return clone
+
     def _add_edge(self, a: int, b: int) -> None:
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)

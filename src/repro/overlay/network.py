@@ -18,12 +18,9 @@ bandwidth is consumed regardless of whether the destination is up.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, List, Optional
 
 from ..files.catalog import FileCatalog
-from ..files.keywords import KeywordPool
-from ..files.storage import FileStore
 from ..net.underlay import Underlay
 from ..sim.config import SimulationConfig
 from ..sim.engine import Simulator
@@ -75,64 +72,15 @@ class P2PNetwork:
         Deterministic for a given ``config.seed``: topology, landmark
         ids, group ids, catalog, and initial shares each draw from
         their own named stream.
-        """
-        streams = RandomStreams(config.seed)
-        sim = Simulator()
-        if config.latency_model == "router":
-            from ..net.latency import RouterLevelLatencyModel
 
-            model = RouterLevelLatencyModel(
-                streams.stream("router-topology"),
-                min_latency_ms=config.min_latency_ms,
-                max_latency_ms=config.max_latency_ms,
-            )
-        else:
-            model = None  # Underlay.build defaults to the Euclidean model
-        underlay = Underlay.build(
-            config.num_peers,
-            streams.stream("underlay"),
-            min_latency_ms=config.min_latency_ms,
-            max_latency_ms=config.max_latency_ms,
-            num_landmarks=config.num_landmarks,
-            clustered=(config.peer_placement == "clustered"),
-            model=model,
-        )
-        graph = OverlayGraph.random(
-            config.num_peers, config.mean_degree, streams.stream("overlay")
-        )
-        pool = KeywordPool(config.keyword_pool_size)
-        catalog = FileCatalog.generate(
-            config.num_files,
-            config.keywords_per_file,
-            pool,
-            streams.stream("catalog"),
-        )
-        gid_rng = streams.stream("gids")
-        share_rng = streams.stream("shares")
-        peers: List[Peer] = []
-        for pid in range(config.num_peers):
-            store = FileStore(catalog)
-            store.add_many(
-                share_rng.sample(range(config.num_files), config.files_per_peer)
-            )
-            peers.append(
-                Peer(
-                    peer_id=pid,
-                    locid=underlay.locid_of(pid),
-                    gid=gid_rng.randrange(config.group_count),
-                    store=store,
-                )
-            )
-        return cls(
-            config=config,
-            sim=sim,
-            underlay=underlay,
-            graph=graph,
-            peers=peers,
-            catalog=catalog,
-            streams=streams,
-            tracer=tracer,
-        )
+        Implemented as build + instantiate on a single-use
+        :class:`~repro.overlay.blueprint.NetworkBlueprint`; callers
+        that run the same topology repeatedly should hold the
+        blueprint and instantiate it per run instead.
+        """
+        from .blueprint import NetworkBlueprint
+
+        return NetworkBlueprint.build(config).instantiate(tracer=tracer)
 
     # -- peer access -----------------------------------------------------
 

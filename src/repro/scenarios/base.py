@@ -89,6 +89,15 @@ class Scenario:
     #: One-line human description (shown by ``repro sweep --list``).
     description: str = ""
 
+    #: Whether :meth:`configure` may change a topology-affecting field
+    #: (:data:`repro.sim.config.TOPOLOGY_FIELDS`).  ``False`` promises
+    #: the overrides are run-time-only, so a cached
+    #: :class:`~repro.overlay.blueprint.NetworkBlueprint` built from
+    #: the base configuration stays reusable; the promise is enforced —
+    #: ``run_protocol`` raises if a scenario declaring ``False``
+    #: nevertheless shifts the topology fingerprint.
+    touches_topology: bool = False
+
     def configure(self, config: SimulationConfig) -> SimulationConfig:
         """Apply the scenario's config overrides (default: none)."""
         return config

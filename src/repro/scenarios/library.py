@@ -198,6 +198,7 @@ class ColdStart(Scenario):
 
     name = "cold-start"
     description = "sparse initial replication; measures cache warm-up"
+    touches_topology = True  # files_per_peer changes the initial shares
 
     def __init__(self, files_per_peer: int = 1) -> None:
         if files_per_peer < 0:

@@ -20,12 +20,72 @@ of corrupting a long simulation run.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
 from .errors import ConfigurationError
 
-__all__ = ["SimulationConfig"]
+__all__ = [
+    "SimulationConfig",
+    "TOPOLOGY_FIELDS",
+    "BUILD_STREAM_NAMES",
+    "RUN_STREAM_NAMES",
+]
+
+#: Config fields that shape the immutable world a
+#: :class:`~repro.overlay.blueprint.NetworkBlueprint` captures: peer
+#: population and placement, underlay latencies, overlay wiring, the
+#: file catalog, initial shares, group ids, and the master seed.  Two
+#: configs that agree on every one of these build byte-identical
+#: topologies; every other field only affects *run-time* behaviour and
+#: may vary freely across instantiations of the same blueprint.
+TOPOLOGY_FIELDS = frozenset(
+    {
+        "num_peers",
+        "mean_degree",
+        "min_latency_ms",
+        "max_latency_ms",
+        "num_landmarks",
+        "latency_model",
+        "peer_placement",
+        "num_files",
+        "files_per_peer",
+        "keywords_per_file",
+        "keyword_pool_size",
+        "group_count",
+        "seed",
+    }
+)
+
+#: Named RNG streams consumed while *building* the world (underlay
+#: coordinates, router topology, overlay wiring, catalog generation,
+#: group ids, initial shares).  They are drawn exactly once per
+#: blueprint; run-time code must never touch them, or instantiating a
+#: cached blueprint would diverge from a from-scratch build.
+#: :meth:`~repro.overlay.blueprint.NetworkBlueprint.instantiate`
+#: enforces this by handing the network a stream factory with these
+#: names forbidden.
+BUILD_STREAM_NAMES = frozenset(
+    {"underlay", "router-topology", "overlay", "catalog", "gids", "shares"}
+)
+
+#: The core *run-time* streams (workload arrivals, popularity sampling,
+#: churn, protocol tie-breaking, scenario workloads).  Not exhaustive —
+#: new scenarios may introduce streams of their own — but any run-time
+#: stream name must stay disjoint from :data:`BUILD_STREAM_NAMES`.
+RUN_STREAM_NAMES = frozenset(
+    {
+        "workload",
+        "zipf",
+        "churn",
+        "popularity-shift",
+        "bloom-router",
+        "flash-crowd",
+        "regional-hotspot",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -203,6 +263,21 @@ class SimulationConfig:
     def replace(self, **changes: Any) -> "SimulationConfig":
         """Return a copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    def topology_fingerprint(self) -> str:
+        """Stable hash of every :data:`TOPOLOGY_FIELDS` value.
+
+        Two configurations with equal fingerprints deterministically
+        build identical worlds (underlay, overlay graph, catalog,
+        initial shares, group ids), so a cached
+        :class:`~repro.overlay.blueprint.NetworkBlueprint` keyed by
+        this value can be instantiated for either.  SHA-256 over a
+        canonical JSON payload, so the value is stable across Python
+        versions and worker processes.
+        """
+        payload = {name: getattr(self, name) for name in sorted(TOPOLOGY_FIELDS)}
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict view, handy for experiment records and reports."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterable, List, Sequence, TypeVar
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -49,12 +49,25 @@ class RandomStreams:
     master_seed:
         Any integer.  Two instances created with the same master seed
         yield identical streams for identical names.
+    forbidden:
+        Optional set of stream names this factory refuses to create.
+        Because every stream is seeded independently from ``(master
+        seed, name)``, a factory that never draws the build-time
+        streams still yields byte-identical *run-time* streams — the
+        guard exists so that code running on an instantiated blueprint
+        cannot accidentally consume build-phase randomness (see
+        :data:`repro.sim.config.BUILD_STREAM_NAMES`).
     """
 
-    def __init__(self, master_seed: int) -> None:
+    def __init__(
+        self, master_seed: int, forbidden: Optional[Iterable[str]] = None
+    ) -> None:
         if not isinstance(master_seed, int):
             raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
         self._master_seed = master_seed
+        self._forbidden: FrozenSet[str] = (
+            frozenset(forbidden) if forbidden is not None else frozenset()
+        )
         self._streams: Dict[str, random.Random] = {}
 
     @property
@@ -62,11 +75,21 @@ class RandomStreams:
         """The master seed this factory was created with."""
         return self._master_seed
 
+    @property
+    def forbidden(self) -> FrozenSet[str]:
+        """Stream names this factory refuses to create."""
+        return self._forbidden
+
     def stream(self, name: str) -> random.Random:
         """Return the stream registered under ``name``, creating it on first use."""
         existing = self._streams.get(name)
         if existing is not None:
             return existing
+        if name in self._forbidden:
+            raise ValueError(
+                f"stream {name!r} is forbidden on this factory (build-time "
+                f"randomness may not be drawn at run time)"
+            )
         stream = random.Random(derive_seed(self._master_seed, name))
         self._streams[name] = stream
         return stream

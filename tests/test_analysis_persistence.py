@@ -110,3 +110,52 @@ class TestMarkdown:
         assert text.count("Fig2") == 2
         assert text.count("Fig3") == 2
         assert text.count("Fig4") == 3
+
+
+class TestScenarioProvenance:
+    """A persisted scenario comparison must say which regime produced it
+    and record the configuration the runs actually used."""
+
+    def test_baseline_document_has_null_scenario(self, comparison):
+        doc = comparison_to_document(comparison)
+        assert doc["scenario"] is None
+
+    def test_scenario_comparison_records_regime_and_effective_config(self):
+        config = small_config(seed=11).replace(query_rate_per_peer=0.02)
+        result = run_comparison(
+            config,
+            max_queries=15,
+            bucket_width=5,
+            protocols=("flooding",),
+            scenario="cold-start",
+        )
+        assert result.scenario_name == "cold-start"
+        # cold-start starves initial replication; the recorded config
+        # must be the one the runs actually used, not the base config.
+        assert result.config.files_per_peer == 1
+        doc = comparison_to_document(result)
+        assert doc["scenario"] == "cold-start"
+        assert doc["config"]["files_per_peer"] == 1
+
+    def test_scenario_roundtrips_through_load(self):
+        config = small_config(seed=11).replace(query_rate_per_peer=0.02)
+        result = run_comparison(
+            config,
+            max_queries=15,
+            bucket_width=5,
+            protocols=("flooding",),
+            scenario="cold-start",
+        )
+        buffer = io.StringIO()
+        save_comparison(result, buffer)
+        buffer.seek(0)
+        loaded = load_comparison_document(buffer)
+        assert loaded.scenario_name == "cold-start"
+
+    def test_pre_scenario_documents_still_load(self, comparison):
+        """Documents written before the scenario key existed load with
+        scenario_name=None."""
+        doc = comparison_to_document(comparison)
+        del doc["scenario"]
+        loaded = load_comparison_document(io.StringIO(json.dumps(doc)))
+        assert loaded.scenario_name is None

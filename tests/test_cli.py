@@ -129,3 +129,61 @@ class TestRoundtrip:
         with open(saved, encoding="utf-8") as handle:
             doc = json.load(handle)
         assert doc["kind"] == "comparison"
+
+
+class TestCompareCommand:
+    def test_compare_is_an_alias_of_figures(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert args.scenario is None
+        assert args.location_aware_routing is False
+
+    def test_figures_accepts_scenario_flag(self):
+        args = build_parser().parse_args(["figures", "--scenario", "flash-crowd"])
+        assert args.scenario == "flash-crowd"
+
+    def test_compare_rejects_unknown_scenario_cleanly(self):
+        code, text = run_cli("compare", "--scenario", "meteor-strike", "--queries", "5")
+        assert code == 2
+        assert "unknown scenario 'meteor-strike'" in text
+
+
+class TestSweepReuseBuilds:
+    def test_flag_parses(self):
+        args = build_parser().parse_args(["sweep", "--reuse-builds"])
+        assert args.reuse_builds is True
+        assert build_parser().parse_args(["sweep"]).reuse_builds is False
+
+    def test_sweep_runs_with_reuse_builds(self):
+        code, text = run_cli(
+            "sweep",
+            "--config", "small",
+            "--protocols", "flooding", "locaware",
+            "--scenarios", "baseline",
+            "--seeds", "1", "2",
+            "--queries", "10",
+            "--workers", "2",
+            "--reuse-builds",
+        )
+        assert code == 0
+        assert "4 cells" in text
+
+
+class TestClaimsScenarioNote:
+    def test_loaded_scenario_document_is_flagged_in_claims(self, tmp_path):
+        import json as _json
+
+        from repro.analysis import comparison_to_document
+        from repro.experiments import run_comparison, small_config
+
+        result = run_comparison(
+            small_config(seed=11).replace(query_rate_per_peer=0.02),
+            max_queries=15,
+            bucket_width=5,
+            scenario="cold-start",
+        )
+        path = tmp_path / "run.json"
+        path.write_text(_json.dumps(comparison_to_document(result)))
+        _code, text = run_cli("claims", "--load", str(path))
+        assert "scenario 'cold-start'" in text
+        assert "baseline regime" in text

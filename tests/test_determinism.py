@@ -1,6 +1,6 @@
 """Determinism/regression harness.
 
-Two guarantees are locked in here:
+Three guarantees are locked in here:
 
 1. **Replay determinism** — for every protocol in ``PROTOCOL_REGISTRY``
    (and every registered scenario), two ``run_protocol`` calls with the
@@ -9,6 +9,10 @@ Two guarantees are locked in here:
 2. **Parallel equivalence** — the multiprocessing ``SweepRunner``
    reproduces the serial (``workers=1``) results cell for cell,
    byte-identically once serialised.
+3. **Blueprint equivalence** — a run instantiated from a cached
+   ``NetworkBlueprint`` is byte-identical to a from-scratch build, for
+   every protocol × scenario × seed cell, and a ``reuse_builds``
+   parallel sweep equals the serial scratch sweep cell for cell.
 """
 
 import json
@@ -22,7 +26,8 @@ from repro.experiments import (
     run_protocol,
     small_config,
 )
-from repro.scenarios import scenario_names
+from repro.overlay import NetworkBlueprint
+from repro.scenarios import get_scenario, scenario_names
 
 
 def _config(seed=5):
@@ -157,3 +162,78 @@ class TestSweepParallelEquivalence:
             scenario="flash-crowd",
         )
         assert run_fingerprint(cell_run) == run_fingerprint(direct)
+
+
+class TestBlueprintEquivalence:
+    """Instantiating a cached blueprint must be indistinguishable from
+    building the world from scratch — the non-negotiable invariant of
+    the blueprint/instance split."""
+
+    # churn-storm exercises runtime-only config overrides on a shared
+    # build; cold-start exercises a topology-touching scenario (its own
+    # blueprint, still shared across protocols).
+    SCENARIOS = ("baseline", "churn-storm", "cold-start")
+    SEEDS = (3, 4)
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_blueprint_run_equals_scratch_run(self, protocol, scenario, seed):
+        config = _config(seed=seed)
+        effective = get_scenario(scenario).configure(config)
+        blueprint = NetworkBlueprint.build(effective)
+        scratch = run_protocol(
+            config, protocol, max_queries=25, bucket_width=25, scenario=scenario
+        )
+        instantiated = run_protocol(
+            config,
+            protocol,
+            max_queries=25,
+            bucket_width=25,
+            scenario=scenario,
+            blueprint=blueprint,
+        )
+        assert run_fingerprint(scratch) == run_fingerprint(instantiated)
+
+    def test_reinstantiated_blueprint_replays_identically(self):
+        """One blueprint, two instantiations — no state bleeds across runs."""
+        config = _config()
+        blueprint = NetworkBlueprint.build(config)
+        a = run_protocol(
+            config, "locaware", max_queries=25, bucket_width=25, blueprint=blueprint
+        )
+        b = run_protocol(
+            config, "locaware", max_queries=25, bucket_width=25, blueprint=blueprint
+        )
+        assert run_fingerprint(a) == run_fingerprint(b)
+
+    def test_mismatched_blueprint_rejected(self):
+        blueprint = NetworkBlueprint.build(_config(seed=3))
+        with pytest.raises(ValueError, match="topology-incompatible"):
+            run_protocol(
+                _config(seed=4),
+                "flooding",
+                max_queries=5,
+                bucket_width=5,
+                blueprint=blueprint,
+            )
+
+    def test_reuse_builds_parallel_equals_serial_scratch(self):
+        """`--reuse-builds --workers N` equals the serial scratch path."""
+        grid = dict(
+            protocols=("flooding", "dicas", "dicas-keys", "locaware"),
+            scenarios=("baseline", "cold-start"),
+            seeds=(3, 4),
+            max_queries=25,
+        )
+        scratch_serial = SweepRunner(
+            base_config=_config(), workers=1, reuse_builds=False, **grid
+        ).run()
+        reuse_parallel = SweepRunner(
+            base_config=_config(), workers=3, reuse_builds=True, **grid
+        ).run()
+        assert set(scratch_serial.runs) == set(reuse_parallel.runs)
+        for cell, scratch_run in scratch_serial.runs.items():
+            assert run_fingerprint(scratch_run) == run_fingerprint(
+                reuse_parallel.runs[cell]
+            ), f"reuse-builds run diverged from scratch at {cell}"

@@ -149,3 +149,95 @@ class TestFigureModules:
             for v in values:
                 if v == v:  # skip NaN
                     assert 0.0 <= v <= 1.0
+
+
+class TestComparisonBlueprintAndPassthrough:
+    def test_comparison_builds_topology_exactly_once(self):
+        from repro.overlay.blueprint import build_count
+
+        config = small_config(seed=13).replace(query_rate_per_peer=0.02)
+        before = build_count()
+        run_comparison(config, max_queries=10, bucket_width=5)
+        assert build_count() - before == 1
+
+    def test_comparison_scenario_passthrough(self):
+        config = small_config(seed=13).replace(query_rate_per_peer=0.02)
+        result = run_comparison(
+            config,
+            max_queries=15,
+            bucket_width=5,
+            protocols=("flooding", "locaware"),
+            scenario="cold-start",
+        )
+        assert set(result.runs) == {"flooding", "locaware"}
+        for run in result.runs.values():
+            assert run.scenario_name == "cold-start"
+            assert run.config.files_per_peer == 1
+
+    def test_comparison_scenario_equals_direct_runs(self):
+        """The shared-blueprint comparison reproduces per-protocol
+        scratch runs under the same scenario."""
+        config = small_config(seed=13).replace(query_rate_per_peer=0.02)
+        result = run_comparison(
+            config,
+            max_queries=15,
+            bucket_width=5,
+            protocols=("dicas",),
+            scenario="churn-storm",
+        )
+        direct = run_protocol(
+            config, "dicas", max_queries=15, bucket_width=5,
+            scenario="churn-storm",
+        )
+        assert result.runs["dicas"].outcomes == direct.outcomes
+        assert result.runs["dicas"].metric_snapshot == direct.metric_snapshot
+
+    def test_comparison_location_aware_routing_passthrough(self):
+        config = small_config(seed=13).replace(query_rate_per_peer=0.02)
+        plain = run_comparison(
+            config, max_queries=20, bucket_width=10, protocols=("locaware",)
+        )
+        routed = run_comparison(
+            config,
+            max_queries=20,
+            bucket_width=10,
+            protocols=("locaware",),
+            location_aware_routing=True,
+        )
+        assert (
+            routed.runs["locaware"].metric_snapshot
+            != plain.runs["locaware"].metric_snapshot
+        )
+
+
+class TestDriveDrainGuard:
+    def test_drained_queue_with_unfinished_workload_raises(self):
+        """A workload that stops rescheduling itself must fail loudly,
+        naming generated vs expected queries."""
+        from repro.experiments.runner import _drive
+
+        network = P2PNetwork.build(small_config(seed=13))
+
+        class StalledWorkload:
+            generated = 3
+
+        class IdleProtocol:
+            pending_queries = 0
+
+        with pytest.raises(RuntimeError, match="3 of 10"):
+            _drive(network, IdleProtocol(), StalledWorkload(), 10)
+
+    def test_drained_queue_after_full_generation_settles(self):
+        """Draining *after* the workload finished generating stays a
+        clean return even with queries still nominally pending."""
+        from repro.experiments.runner import _drive
+
+        network = P2PNetwork.build(small_config(seed=13))
+
+        class DoneWorkload:
+            generated = 10
+
+        class StuckProtocol:
+            pending_queries = 1
+
+        _drive(network, StuckProtocol(), DoneWorkload(), 10)

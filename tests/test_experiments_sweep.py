@@ -118,3 +118,73 @@ class TestRun:
         assert "scenario: diurnal" in text
         assert "locaware across scenarios" in text
         assert "2 protocols × 2 scenarios × 2 seeds" in text
+
+
+class TestReuseBuilds:
+    def test_reuse_builds_default_off(self):
+        assert _runner().reuse_builds is False
+
+    def test_reuse_builds_caches_one_build_per_topology(self):
+        from repro.experiments import sweep as sweep_module
+        from repro.overlay.blueprint import build_count
+
+        sweep_module._BLUEPRINT_CACHE.clear()
+        runner = _runner(
+            protocols=("flooding", "dicas", "locaware"),
+            scenarios=("baseline",),
+            seeds=(21, 22),
+            reuse_builds=True,
+        )
+        before = build_count()
+        report = runner.run()
+        # Serial reuse: one build per distinct (scenario, seed) topology,
+        # shared by all three protocols of the row.
+        assert build_count() - before == len(runner.seeds)
+        assert report.num_cells == 3 * 2
+        sweep_module._BLUEPRINT_CACHE.clear()
+
+    def test_reuse_builds_matches_scratch(self):
+        grid = dict(
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline", "cold-start"),
+            seeds=(5, 6),
+            max_queries=12,
+        )
+        scratch = _runner(reuse_builds=False, **grid).run()
+        reused = _runner(reuse_builds=True, **grid).run()
+        assert set(scratch.runs) == set(reused.runs)
+        for cell, run in scratch.runs.items():
+            other = reused.runs[cell]
+            assert run.outcomes == other.outcomes, cell
+            assert run.metric_snapshot == other.metric_snapshot, cell
+
+    def test_reuse_builds_progress_still_one_line_per_cell(self):
+        lines = []
+        runner = _runner(reuse_builds=True)
+        runner.run(progress=lines.append)
+        assert len(lines) == len(runner.cells())
+
+    def test_blueprint_cache_is_bounded(self):
+        from repro.experiments import sweep as sweep_module
+        from repro.experiments.sweep import _cached_blueprint
+
+        sweep_module._BLUEPRINT_CACHE.clear()
+        base = small_config(seed=1)
+        for seed in range(1, sweep_module._BLUEPRINT_CACHE_CAPACITY + 4):
+            _cached_blueprint(base.replace(seed=seed))
+        assert (
+            len(sweep_module._BLUEPRINT_CACHE)
+            == sweep_module._BLUEPRINT_CACHE_CAPACITY
+        )
+        sweep_module._BLUEPRINT_CACHE.clear()
+
+    def test_cached_blueprint_returns_same_object_for_same_topology(self):
+        from repro.experiments import sweep as sweep_module
+        from repro.experiments.sweep import _cached_blueprint
+
+        sweep_module._BLUEPRINT_CACHE.clear()
+        base = small_config(seed=9)
+        first = _cached_blueprint(base)
+        again = _cached_blueprint(base.replace(query_rate_per_peer=0.5))
+        assert again is first  # runtime-only overrides share the topology
+        sweep_module._BLUEPRINT_CACHE.clear()

@@ -1,0 +1,110 @@
+"""Unit tests for the blueprint/instance split (NetworkBlueprint)."""
+
+import pytest
+
+from repro.overlay import NetworkBlueprint, P2PNetwork
+from repro.sim import SimulationConfig
+from repro.sim.config import BUILD_STREAM_NAMES
+
+
+def _config(seed=3, **overrides):
+    return SimulationConfig.small(seed=seed).replace(**overrides)
+
+
+@pytest.fixture(scope="module")
+def blueprint():
+    return NetworkBlueprint.build(_config())
+
+
+class TestBuild:
+    def test_captures_whole_world(self, blueprint):
+        config = blueprint.config
+        assert blueprint.underlay.num_peers == config.num_peers
+        assert blueprint.graph.num_peers == config.num_peers
+        assert len(blueprint.gids) == config.num_peers
+        assert len(blueprint.initial_shares) == config.num_peers
+        for shares in blueprint.initial_shares:
+            assert len(shares) == config.files_per_peer
+        for gid in blueprint.gids:
+            assert 0 <= gid < config.group_count
+
+    def test_fingerprint_matches_config(self, blueprint):
+        assert blueprint.fingerprint == blueprint.config.topology_fingerprint()
+        assert blueprint.compatible_with(blueprint.config)
+
+    def test_matches_scratch_build(self, blueprint):
+        scratch = P2PNetwork.build(_config())
+        assert [p.gid for p in scratch.peers] == list(blueprint.gids)
+        assert [sorted(p.store.file_ids()) for p in scratch.peers] == [
+            sorted(shares) for shares in blueprint.initial_shares
+        ]
+        for pid in range(scratch.config.num_peers):
+            assert scratch.graph.neighbors(pid) == blueprint.graph.neighbors(pid)
+            assert scratch.underlay.locid_of(pid) == blueprint.underlay.locid_of(pid)
+
+
+class TestInstantiate:
+    def test_instances_share_immutables(self, blueprint):
+        a = blueprint.instantiate()
+        b = blueprint.instantiate()
+        assert a.underlay is blueprint.underlay
+        assert b.underlay is blueprint.underlay
+        assert a.catalog is blueprint.catalog
+
+    def test_instances_get_independent_mutables(self, blueprint):
+        a = blueprint.instantiate()
+        b = blueprint.instantiate()
+        assert a.sim is not b.sim
+        assert a.graph is not b.graph
+        assert a.graph is not blueprint.graph
+        assert a.metrics is not b.metrics
+        # Mutating one instance leaves the sibling and the blueprint intact.
+        a.graph.remove_peer(0)
+        assert b.graph.contains(0)
+        assert blueprint.graph.contains(0)
+        victim = min(a.peer(1).store.file_ids())
+        a.peer(1).store.remove(victim)
+        assert sorted(b.peer(1).store.file_ids()) == sorted(blueprint.initial_shares[1])
+
+    def test_instance_equals_scratch_build(self, blueprint):
+        scratch = P2PNetwork.build(_config())
+        instance = blueprint.instantiate()
+        assert [p.gid for p in instance.peers] == [p.gid for p in scratch.peers]
+        assert [sorted(p.store.file_ids()) for p in instance.peers] == [
+            sorted(p.store.file_ids()) for p in scratch.peers
+        ]
+        assert [p.locid for p in instance.peers] == [p.locid for p in scratch.peers]
+        for pid in range(scratch.config.num_peers):
+            assert instance.graph.neighbors(pid) == scratch.graph.neighbors(pid)
+
+    def test_runtime_streams_identical_to_scratch(self, blueprint):
+        scratch = P2PNetwork.build(_config())
+        instance = blueprint.instantiate()
+        assert [scratch.streams.stream("workload").random() for _ in range(5)] == [
+            instance.streams.stream("workload").random() for _ in range(5)
+        ]
+
+    def test_build_streams_forbidden_at_runtime(self, blueprint):
+        instance = blueprint.instantiate()
+        for name in sorted(BUILD_STREAM_NAMES):
+            with pytest.raises(ValueError, match="forbidden"):
+                instance.streams.stream(name)
+
+    def test_runtime_config_override_allowed(self, blueprint):
+        config = _config(churn_enabled=True, query_rate_per_peer=0.5, ttl=2)
+        instance = blueprint.instantiate(config=config)
+        assert instance.config is config
+        assert instance.config.churn_enabled
+
+    def test_topology_config_override_rejected(self, blueprint):
+        for overrides in ({"seed": 99}, {"num_peers": 10}, {"files_per_peer": 1}):
+            with pytest.raises(ValueError, match="topology-incompatible"):
+                blueprint.instantiate(config=_config(**overrides))
+
+    def test_router_model_blueprint_instantiates(self):
+        config = _config(latency_model="router")
+        blueprint = NetworkBlueprint.build(config)
+        a = blueprint.instantiate()
+        b = P2PNetwork.build(config)
+        assert a.underlay.latency_ms(0, 1) == b.underlay.latency_ms(0, 1)
+        assert a.underlay.latency_ms(3, 7) == b.underlay.latency_ms(3, 7)

@@ -109,3 +109,69 @@ class TestMessaging:
         assert rtts[1] == pytest.approx(network.underlay.rtt_ms(0, 1))
         assert network.metrics.counter("messages.rtt_probe").value == 4
         assert network.query_message_count(3) == 4
+
+
+class TestMessagingEdges:
+    """Edge cases of the message accounting (per-query tallies, dead
+    peers, probe charging)."""
+
+    def test_charge_query_messages_rejects_negative_and_leaves_tally(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.charge_query_messages(9, 4)
+        with pytest.raises(ValueError, match="non-negative"):
+            network.charge_query_messages(9, -3)
+        assert network.query_message_count(9) == 4
+
+    def test_charge_query_messages_zero_is_a_noop_count(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.charge_query_messages(9, 0)
+        assert network.query_message_count(9) == 0
+
+    def test_drop_is_decided_at_delivery_time_not_send_time(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        received = []
+        # Alive at send, dead at arrival: dropped and accounted.
+        network.send(0, 1, lambda dst, msg: received.append(msg), "late")
+        network.peer(1).alive = False
+        network.sim.run()
+        assert received == []
+        assert network.metrics.counter("messages.dropped_dead_peer").value == 1
+        # Dead at send, alive at arrival: delivered, no drop counted.
+        network.peer(2).alive = False
+        network.send(0, 2, lambda dst, msg: received.append(msg), "early")
+        network.peer(2).alive = True
+        network.sim.run()
+        assert received == ["early"]
+        assert network.metrics.counter("messages.dropped_dead_peer").value == 1
+
+    def test_dropped_deliveries_accumulate_per_dead_destination(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.peer(1).alive = False
+        network.peer(2).alive = False
+        for dst in (1, 2, 1):
+            network.send(0, dst, lambda *a: None, "x")
+        network.sim.run()
+        assert network.metrics.counter("messages.dropped_dead_peer").value == 3
+        assert network.metrics.counter("messages.total").value == 3
+
+    def test_rtt_probe_charges_two_messages_per_candidate(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        candidates = [1, 2, 3, 4, 5]
+        network.rtt_probe_ms(0, candidates, query_id=3)
+        assert network.query_message_count(3) == 2 * len(candidates)
+        assert network.metrics.counter("messages.rtt_probe").value == 2 * len(
+            candidates
+        )
+        assert network.metrics.counter("messages.total").value == 2 * len(candidates)
+
+    def test_rtt_probe_without_query_id_counts_but_does_not_charge(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        network.rtt_probe_ms(0, [1, 2])
+        assert network.metrics.counter("messages.rtt_probe").value == 4
+        assert network.query_message_count(0) == 0
+
+    def test_rtt_probe_empty_candidates(self):
+        network = P2PNetwork.build(SimulationConfig.small(seed=4))
+        assert network.rtt_probe_ms(0, [], query_id=3) == {}
+        assert network.metrics.counter("messages.rtt_probe").value == 0
+        assert network.query_message_count(3) == 0

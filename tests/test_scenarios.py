@@ -382,3 +382,45 @@ class TestMaxQueriesProperty:
         assert workload.generated == max_queries
         assert len(workload.history) == max_queries
         assert math.isfinite(workload.history[-1].time)
+
+
+class TestTopologyDeclarations:
+    """Every registered scenario's ``touches_topology`` declaration must
+    match what its ``configure`` actually does to the fingerprint."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_declaration_matches_configure(self, name):
+        scenario = get_scenario(name)
+        base = small_config(seed=11)
+        configured = scenario.configure(base)
+        changed = (
+            configured.topology_fingerprint() != base.topology_fingerprint()
+        )
+        if changed:
+            assert scenario.touches_topology, (
+                f"{name} changes the topology fingerprint but declares "
+                "touches_topology=False"
+            )
+
+    def test_lying_scenario_is_caught_by_run_protocol(self):
+        class LyingScenario(Scenario):
+            name = "lying-scenario"
+            description = "claims runtime-only but shrinks the population"
+            touches_topology = False
+
+            def configure(self, config):
+                return config.replace(num_peers=config.num_peers - 1)
+
+        with pytest.raises(RuntimeError, match="touches_topology"):
+            run_protocol(
+                small_config(seed=11),
+                "flooding",
+                max_queries=5,
+                bucket_width=5,
+                scenario=LyingScenario(),
+            )
+
+    def test_cold_start_declares_topology(self):
+        assert get_scenario("cold-start").touches_topology
+        assert not get_scenario("baseline").touches_topology
+        assert not get_scenario("churn-storm").touches_topology

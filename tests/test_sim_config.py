@@ -118,3 +118,65 @@ class TestReplace:
         cfg = SimulationConfig.small()
         assert cfg.num_peers < 200
         assert cfg.num_files >= cfg.files_per_peer
+
+
+class TestTopologyFingerprint:
+    """The fingerprint is the cache key of the blueprint/instance split:
+    equal fingerprints must mean identical built worlds."""
+
+    def test_fields_exist_on_the_dataclass(self):
+        import dataclasses
+
+        from repro.sim.config import TOPOLOGY_FIELDS
+
+        names = {f.name for f in dataclasses.fields(SimulationConfig)}
+        assert TOPOLOGY_FIELDS <= names
+
+    def test_stable_across_instances(self):
+        a = SimulationConfig.small(seed=5)
+        b = SimulationConfig.small(seed=5)
+        assert a.topology_fingerprint() == b.topology_fingerprint()
+
+    def test_sensitive_to_every_topology_field(self):
+        from repro.sim.config import TOPOLOGY_FIELDS
+
+        base = SimulationConfig.small(seed=5)
+        changed = {
+            "num_peers": 61,
+            "mean_degree": 4.0,
+            "min_latency_ms": 11.0,
+            "max_latency_ms": 400.0,
+            "num_landmarks": 3,
+            "latency_model": "router",
+            "peer_placement": "uniform",
+            "num_files": 181,
+            "files_per_peer": 2,
+            "keywords_per_file": 4,
+            "keyword_pool_size": 541,
+            "group_count": 5,
+            "seed": 6,
+        }
+        assert set(changed) == TOPOLOGY_FIELDS
+        for name, value in changed.items():
+            assert (
+                base.replace(**{name: value}).topology_fingerprint()
+                != base.topology_fingerprint()
+            ), f"fingerprint blind to topology field {name}"
+
+    def test_insensitive_to_runtime_fields(self):
+        base = SimulationConfig.small(seed=5)
+        runtime = base.replace(
+            query_rate_per_peer=0.5,
+            ttl=2,
+            index_capacity=5,
+            bloom_bits=256,
+            churn_enabled=True,
+            mean_session_s=60.0,
+            response_window_s=1.0,
+        )
+        assert runtime.topology_fingerprint() == base.topology_fingerprint()
+
+    def test_stream_name_split_is_disjoint(self):
+        from repro.sim.config import BUILD_STREAM_NAMES, RUN_STREAM_NAMES
+
+        assert not (BUILD_STREAM_NAMES & RUN_STREAM_NAMES)

@@ -72,3 +72,25 @@ class TestRandomStreams:
 
     def test_master_seed_property(self):
         assert RandomStreams(17).master_seed == 17
+
+
+class TestForbiddenStreams:
+    """The build/run stream split: a run-time factory refuses build names."""
+
+    def test_forbidden_name_rejected(self):
+        streams = RandomStreams(3, forbidden={"shares"})
+        with pytest.raises(ValueError, match="forbidden"):
+            streams.stream("shares")
+
+    def test_allowed_names_unaffected_by_forbidden_set(self):
+        plain = RandomStreams(3)
+        guarded = RandomStreams(3, forbidden={"shares", "underlay"})
+        assert [plain.stream("workload").random() for _ in range(4)] == [
+            guarded.stream("workload").random() for _ in range(4)
+        ]
+
+    def test_forbidden_property(self):
+        assert RandomStreams(3, forbidden=["a", "b"]).forbidden == frozenset(
+            {"a", "b"}
+        )
+        assert RandomStreams(3).forbidden == frozenset()

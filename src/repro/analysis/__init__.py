@@ -16,12 +16,26 @@ from .distributions import (
 )
 from .persistence import (
     LoadedComparison,
+    LoadedGridReport,
     comparison_to_document,
+    grid_cell_to_document,
+    grid_report_to_document,
     load_comparison_document,
+    load_grid_cell_document,
+    load_grid_report_document,
+    load_run_document,
+    run_to_document,
     save_comparison,
+    save_grid_report,
 )
 from .report import claims_report, comparison_report, markdown_table
-from .sweep_report import SweepRow, aggregate_sweep, render_sweep_report
+from .sweep_report import (
+    SweepAggregator,
+    SweepRow,
+    aggregate_sweep,
+    render_sweep_report,
+    render_sweep_rows,
+)
 from .tables import format_percent, format_series_table, format_table
 
 __all__ = [
@@ -39,6 +53,14 @@ __all__ = [
     "save_comparison",
     "load_comparison_document",
     "LoadedComparison",
+    "run_to_document",
+    "load_run_document",
+    "grid_cell_to_document",
+    "load_grid_cell_document",
+    "grid_report_to_document",
+    "save_grid_report",
+    "load_grid_report_document",
+    "LoadedGridReport",
     "markdown_table",
     "comparison_report",
     "claims_report",
@@ -49,6 +71,8 @@ __all__ = [
     "render_chart",
     "render_figure_chart",
     "SweepRow",
+    "SweepAggregator",
     "aggregate_sweep",
     "render_sweep_report",
+    "render_sweep_rows",
 ]

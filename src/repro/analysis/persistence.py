@@ -11,6 +11,21 @@ the three figure series; ``load_comparison_document`` restores a
 :class:`LoadedComparison` offering the same accessors the live
 :class:`~repro.experiments.runner.ComparisonResult` provides, so the
 analysis layer works identically on fresh and persisted data.
+
+Three document kinds share one per-run encoding
+(:func:`run_to_document` / :func:`load_run_document`):
+
+- ``comparison``  — the four-way figure comparison (above);
+- ``grid-cell``   — one completed grid cell, as persisted by the
+  content-addressed :class:`~repro.results.store.ResultStore`;
+- ``grid-report`` — a whole sweep/grid (axes + every cell), written by
+  ``repro sweep --out`` and :func:`save_grid_report`, restored by
+  :func:`load_grid_report_document` into a :class:`LoadedGridReport`
+  that :func:`repro.analysis.aggregate_sweep` consumes unchanged.
+
+Floats round-trip exactly (JSON uses ``repr``-exact encoding), so an
+aggregate computed from restored documents is byte-identical to one
+computed from the live runs — the property grid resume relies on.
 """
 
 from __future__ import annotations
@@ -18,8 +33,9 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List
+from typing import Any, Dict, IO, List, Tuple
 
+from ..results.keys import cell_label
 from ..sim.metrics import BucketedSeries
 from .collectors import MetricSeries, OutcomeSummary
 
@@ -28,6 +44,14 @@ __all__ = [
     "save_comparison",
     "load_comparison_document",
     "LoadedComparison",
+    "run_to_document",
+    "load_run_document",
+    "grid_cell_to_document",
+    "load_grid_cell_document",
+    "grid_report_to_document",
+    "save_grid_report",
+    "load_grid_report_document",
+    "LoadedGridReport",
 ]
 
 _FORMAT_VERSION = 1
@@ -53,6 +77,37 @@ def _nan_if_none(value: Any) -> float:
     return math.nan if value is None else float(value)
 
 
+def run_to_document(run: Any) -> Dict[str, Any]:
+    """Serialise one protocol run's measurements to a JSON-able dict.
+
+    Accepts any run-shaped object (``summary``, ``series``,
+    ``locally_satisfied``, ``sim_time_s``, ``events_processed``) —
+    live :class:`~repro.experiments.runner.ProtocolRun` or an already
+    restored one; the encoding is a fixed point either way.
+    """
+    summary = run.summary
+    return {
+        "summary": {
+            "queries": summary.queries,
+            "successes": summary.successes,
+            "success_rate": _none_if_nan(summary.success_rate),
+            "mean_messages": _none_if_nan(summary.mean_messages),
+            "mean_download_distance_ms": _none_if_nan(
+                summary.mean_download_distance_ms
+            ),
+            "mean_responses": _none_if_nan(summary.mean_responses),
+        },
+        "series": {
+            "download_distance": _series_to_lists(run.series.download_distance),
+            "search_traffic": _series_to_lists(run.series.search_traffic),
+            "success_rate": _series_to_lists(run.series.success_rate),
+        },
+        "locally_satisfied": run.locally_satisfied,
+        "sim_time_s": run.sim_time_s,
+        "events_processed": run.events_processed,
+    }
+
+
 def comparison_to_document(result: Any) -> Dict[str, Any]:
     """Serialise a ComparisonResult-like object to a JSON-able dict.
 
@@ -61,29 +116,9 @@ def comparison_to_document(result: Any) -> Dict[str, Any]:
     ``series``, ``locally_satisfied``, ``sim_time_s``,
     ``events_processed``).
     """
-    runs: Dict[str, Any] = {}
-    for name, run in result.runs.items():
-        summary = run.summary
-        runs[name] = {
-            "summary": {
-                "queries": summary.queries,
-                "successes": summary.successes,
-                "success_rate": _none_if_nan(summary.success_rate),
-                "mean_messages": _none_if_nan(summary.mean_messages),
-                "mean_download_distance_ms": _none_if_nan(
-                    summary.mean_download_distance_ms
-                ),
-                "mean_responses": _none_if_nan(summary.mean_responses),
-            },
-            "series": {
-                "download_distance": _series_to_lists(run.series.download_distance),
-                "search_traffic": _series_to_lists(run.series.search_traffic),
-                "success_rate": _series_to_lists(run.series.success_rate),
-            },
-            "locally_satisfied": run.locally_satisfied,
-            "sim_time_s": run.sim_time_s,
-            "events_processed": run.events_processed,
-        }
+    runs: Dict[str, Any] = {
+        name: run_to_document(run) for name, run in result.runs.items()
+    }
     return {
         "format_version": _FORMAT_VERSION,
         "kind": "comparison",
@@ -190,44 +225,212 @@ def _load_series(doc: Dict[str, Any]) -> _LoadedSeries:
     )
 
 
-def load_comparison_document(source: IO[str]) -> LoadedComparison:
-    """Restore a document written by :func:`save_comparison`."""
-    doc = json.load(source)
-    if doc.get("kind") != "comparison":
-        raise ValueError(f"not a comparison document: kind={doc.get('kind')!r}")
+def load_run_document(protocol_name: str, run_doc: Dict[str, Any]) -> _LoadedRun:
+    """Restore one run from its :func:`run_to_document` encoding."""
+    s = run_doc["summary"]
+    summary = OutcomeSummary(
+        queries=s["queries"],
+        successes=s["successes"],
+        success_rate=_nan_if_none(s["success_rate"]),
+        mean_messages=_nan_if_none(s["mean_messages"]),
+        mean_download_distance_ms=_nan_if_none(s["mean_download_distance_ms"]),
+        mean_responses=_nan_if_none(s["mean_responses"]),
+    )
+    series = MetricSeries(
+        download_distance=_load_series(run_doc["series"]["download_distance"]),
+        search_traffic=_load_series(run_doc["series"]["search_traffic"]),
+        success_rate=_load_series(run_doc["series"]["success_rate"]),
+    )
+    return _LoadedRun(
+        protocol_name=protocol_name,
+        summary=summary,
+        series=series,
+        locally_satisfied=run_doc["locally_satisfied"],
+        sim_time_s=run_doc["sim_time_s"],
+        events_processed=run_doc["events_processed"],
+    )
+
+
+def _check_kind(doc: Dict[str, Any], kind: str) -> None:
+    if doc.get("kind") != kind:
+        raise ValueError(f"not a {kind} document: kind={doc.get('kind')!r}")
     if doc.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported format version {doc.get('format_version')!r} "
             f"(expected {_FORMAT_VERSION})"
         )
-    runs: Dict[str, _LoadedRun] = {}
-    for name, run_doc in doc["runs"].items():
-        s = run_doc["summary"]
-        summary = OutcomeSummary(
-            queries=s["queries"],
-            successes=s["successes"],
-            success_rate=_nan_if_none(s["success_rate"]),
-            mean_messages=_nan_if_none(s["mean_messages"]),
-            mean_download_distance_ms=_nan_if_none(s["mean_download_distance_ms"]),
-            mean_responses=_nan_if_none(s["mean_responses"]),
-        )
-        series = MetricSeries(
-            download_distance=_load_series(run_doc["series"]["download_distance"]),
-            search_traffic=_load_series(run_doc["series"]["search_traffic"]),
-            success_rate=_load_series(run_doc["series"]["success_rate"]),
-        )
-        runs[name] = _LoadedRun(
-            protocol_name=name,
-            summary=summary,
-            series=series,
-            locally_satisfied=run_doc["locally_satisfied"],
-            sim_time_s=run_doc["sim_time_s"],
-            events_processed=run_doc["events_processed"],
-        )
+
+
+def load_comparison_document(source: IO[str]) -> LoadedComparison:
+    """Restore a document written by :func:`save_comparison`."""
+    doc = json.load(source)
+    _check_kind(doc, "comparison")
+    runs: Dict[str, _LoadedRun] = {
+        name: load_run_document(name, run_doc)
+        for name, run_doc in doc["runs"].items()
+    }
     return LoadedComparison(
         config=doc["config"],
         max_queries=doc["max_queries"],
         bucket_width=doc["bucket_width"],
         runs=runs,
         scenario_name=doc.get("scenario"),
+    )
+
+
+# -- grid documents --------------------------------------------------------
+#
+# Cells arrive duck-typed: a cell key object with ``protocol``/``seed``
+# plus either a plain scenario name (SweepCell) or a ScenarioSpec-like
+# ``scenario`` with ``name``/``params``, and an optional ``overrides``
+# item tuple (GridCell).  The analysis layer never imports the
+# experiments layer, so shape — not type — is the contract.
+
+
+def _cell_axes(cell: Any) -> Tuple[str, Dict[str, Any], Dict[str, Any]]:
+    scenario = cell.scenario
+    name = getattr(scenario, "name", scenario)
+    params = dict(getattr(scenario, "params", ()))
+    overrides = dict(getattr(cell, "overrides", ()))
+    return name, params, overrides
+
+
+def grid_cell_to_document(
+    cell: Any,
+    run: Any,
+    key: str,
+    max_queries: int,
+    bucket_width: int,
+    topology_fingerprint: Any = None,
+) -> Dict[str, Any]:
+    """Serialise one completed grid cell for the result store."""
+    name, params, overrides = _cell_axes(cell)
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "grid-cell",
+        "key": key,
+        "cell": {
+            "protocol": cell.protocol,
+            "scenario": {"name": name, "params": params},
+            "overrides": overrides,
+            "seed": cell.seed,
+            "label": cell_label(name, params, overrides),
+        },
+        "topology_fingerprint": topology_fingerprint,
+        "max_queries": max_queries,
+        "bucket_width": bucket_width,
+        "run": run_to_document(run),
+    }
+
+
+def load_grid_cell_document(doc: Dict[str, Any]) -> _LoadedRun:
+    """Restore the run of a stored grid cell."""
+    _check_kind(doc, "grid-cell")
+    return load_run_document(doc["cell"]["protocol"], doc["run"])
+
+
+def grid_report_to_document(report: Any) -> Dict[str, Any]:
+    """Serialise a sweep/grid report (axes + every cell) to a dict.
+
+    Works duck-typed on :class:`~repro.experiments.sweep.SweepReport`
+    and :class:`~repro.experiments.grid.GridReport` alike.  Cells are
+    sorted by (label, protocol, seed) so the document is byte-stable
+    whatever completion order the worker pool produced.
+    """
+    cells: List[Dict[str, Any]] = []
+    for cell, run in report.runs.items():
+        name, params, overrides = _cell_axes(cell)
+        cells.append(
+            {
+                "protocol": cell.protocol,
+                "scenario": {"name": name, "params": params},
+                "overrides": overrides,
+                "seed": cell.seed,
+                "label": cell_label(name, params, overrides),
+                "run": run_to_document(run),
+            }
+        )
+    cells.sort(key=lambda c: (c["label"], c["protocol"], c["seed"]))
+    base_config = report.base_config
+    config_doc = (
+        base_config.to_dict() if hasattr(base_config, "to_dict") else base_config
+    )
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "grid-report",
+        "base_config": config_doc,
+        "protocols": list(report.protocols),
+        "scenarios": list(report.scenarios),
+        "seeds": list(report.seeds),
+        "max_queries": report.max_queries,
+        "bucket_width": report.bucket_width,
+        "cells": cells,
+    }
+
+
+def save_grid_report(report: Any, out: IO[str]) -> None:
+    """Write a sweep/grid report document as indented JSON."""
+    json.dump(grid_report_to_document(report), out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+@dataclass
+class LoadedGridReport:
+    """A grid-report document restored from JSON.
+
+    Offers the accessors :func:`repro.analysis.aggregate_sweep` and
+    :func:`repro.analysis.render_sweep_report` need (``protocols``,
+    ``scenarios`` — row labels — ``seeds``, ``max_queries``,
+    ``seed_runs()``), so persisted sweeps render identically to live
+    ones.
+    """
+
+    base_config: Dict[str, Any]
+    protocols: List[str]
+    scenarios: List[str]
+    seeds: List[int]
+    max_queries: int
+    bucket_width: int
+    runs: Dict[Tuple[str, str, int], _LoadedRun]
+
+    @property
+    def num_cells(self) -> int:
+        """How many cells the document carried."""
+        return len(self.runs)
+
+    def run_for(self, protocol: str, scenario: str, seed: int) -> _LoadedRun:
+        """The restored run of one cell (scenario = its row label)."""
+        return self.runs[(scenario, protocol, seed)]
+
+    def seed_runs(self, protocol: str, scenario: str) -> List[_LoadedRun]:
+        """One (scenario-label, protocol) row across all seeds."""
+        return [self.run_for(protocol, scenario, seed) for seed in self.seeds]
+
+
+def load_grid_report_document(source: IO[str]) -> LoadedGridReport:
+    """Restore a document written by :func:`save_grid_report`."""
+    doc = json.load(source)
+    _check_kind(doc, "grid-report")
+    runs: Dict[Tuple[str, str, int], _LoadedRun] = {}
+    labels: List[str] = []
+    for cell in doc["cells"]:
+        scenario = cell["scenario"]
+        label = cell.get("label") or cell_label(
+            scenario["name"], scenario["params"], cell["overrides"]
+        )
+        if label not in labels:
+            labels.append(label)
+        runs[(label, cell["protocol"], cell["seed"])] = load_run_document(
+            cell["protocol"], cell["run"]
+        )
+    scenarios = [label for label in doc["scenarios"] if label in labels]
+    scenarios += [label for label in labels if label not in scenarios]
+    return LoadedGridReport(
+        base_config=doc["base_config"],
+        protocols=list(doc["protocols"]),
+        scenarios=scenarios,
+        seeds=list(doc["seeds"]),
+        max_queries=doc["max_queries"],
+        bucket_width=doc["bucket_width"],
+        runs=runs,
     )

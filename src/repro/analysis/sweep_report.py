@@ -9,17 +9,30 @@ analysis layer never imports the experiments layer.
 :func:`aggregate_sweep` reduces each (scenario, protocol) row to its
 seed-averaged headline numbers; :func:`render_sweep_report` prints one
 table per scenario plus a cross-scenario Locaware summary.
+
+:class:`SweepAggregator` is the incremental core both build on: it
+accumulates one run at a time, so a result store can be aggregated by
+streaming cell documents off disk without ever holding every run in
+memory (``repro grid report``).  Runs added in the same order produce
+bit-identical row means (same float summation order), which is what
+lets a resumed grid's aggregate match an uninterrupted one exactly.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .tables import format_percent, format_table
 
-__all__ = ["SweepRow", "aggregate_sweep", "render_sweep_report"]
+__all__ = [
+    "SweepRow",
+    "SweepAggregator",
+    "aggregate_sweep",
+    "render_sweep_report",
+    "render_sweep_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -41,27 +54,125 @@ def _mean(values: List[float]) -> float:
     return sum(clean) / len(clean) if clean else math.nan
 
 
+#: The headline metrics a row averages, as (field, extractor) pairs.
+_ROW_METRICS = (
+    ("success_rate", lambda r: r.summary.success_rate),
+    ("mean_messages", lambda r: r.summary.mean_messages),
+    ("mean_download_distance_ms", lambda r: r.summary.mean_download_distance_ms),
+    ("locally_satisfied", lambda r: float(r.locally_satisfied)),
+    ("sim_time_s", lambda r: r.sim_time_s),
+)
+
+
+class SweepAggregator:
+    """Streaming seed-averager for (scenario, protocol) rows.
+
+    Feed it runs one at a time with :meth:`add` — live
+    :class:`~repro.experiments.runner.ProtocolRun` objects or restored
+    store documents alike — and read the finished rows with
+    :meth:`rows`.  NaN metric values (e.g. no successful download on
+    one seed) are excluded per metric, matching :func:`aggregate_sweep`
+    semantics; a row whose every value is NaN averages to NaN.
+    """
+
+    def __init__(self) -> None:
+        # (scenario, protocol) → {"seeds": n, metric: [sum, count], ...}
+        self._rows: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+    def add(self, scenario: str, protocol: str, run: Any) -> None:
+        """Fold one run into its (scenario, protocol) row."""
+        row = self._rows.setdefault(
+            (scenario, protocol),
+            {"seeds": 0, **{name: [0.0, 0] for name, _ in _ROW_METRICS}},
+        )
+        row["seeds"] += 1
+        for name, extract in _ROW_METRICS:
+            value = float(extract(run))
+            if not math.isnan(value):
+                accumulator = row[name]
+                accumulator[0] += value
+                accumulator[1] += 1
+
+    def rows(self) -> Dict[Tuple[str, str], SweepRow]:
+        """The seed-averaged rows accumulated so far."""
+        finished: Dict[Tuple[str, str], SweepRow] = {}
+        for (scenario, protocol), row in self._rows.items():
+            means = {
+                name: (row[name][0] / row[name][1] if row[name][1] else math.nan)
+                for name, _ in _ROW_METRICS
+            }
+            finished[(scenario, protocol)] = SweepRow(
+                scenario=scenario, protocol=protocol, seeds=row["seeds"], **means
+            )
+        return finished
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
 def aggregate_sweep(report: Any) -> Dict[Tuple[str, str], SweepRow]:
     """Reduce a sweep grid to seed-averaged rows, keyed (scenario, protocol)."""
-    rows: Dict[Tuple[str, str], SweepRow] = {}
+    aggregator = SweepAggregator()
     for scenario in report.scenarios:
         for protocol in report.protocols:
-            runs = report.seed_runs(protocol, scenario)
-            rows[(scenario, protocol)] = SweepRow(
-                scenario=scenario,
-                protocol=protocol,
-                seeds=len(runs),
-                success_rate=_mean([r.summary.success_rate for r in runs]),
-                mean_messages=_mean([r.summary.mean_messages for r in runs]),
-                mean_download_distance_ms=_mean(
-                    [r.summary.mean_download_distance_ms for r in runs]
-                ),
-                locally_satisfied=_mean(
-                    [float(r.locally_satisfied) for r in runs]
-                ),
-                sim_time_s=_mean([r.sim_time_s for r in runs]),
+            for run in report.seed_runs(protocol, scenario):
+                aggregator.add(scenario, protocol, run)
+    return aggregator.rows()
+
+
+def _scenario_table(
+    rows: Dict[Tuple[str, str], SweepRow],
+    scenario: str,
+    protocols: List[str],
+    title: str,
+) -> str:
+    table_rows = []
+    for protocol in protocols:
+        row = rows[(scenario, protocol)]
+        table_rows.append(
+            [
+                protocol,
+                format_percent(row.success_rate),
+                row.mean_messages,
+                row.mean_download_distance_ms,
+                row.locally_satisfied,
+            ]
+        )
+    return format_table(
+        ["protocol", "success", "msgs/query", "distance ms", "local hits"],
+        table_rows,
+        title=title,
+    )
+
+
+def render_sweep_rows(
+    rows: Dict[Tuple[str, str], SweepRow], heading: Optional[str] = None
+) -> str:
+    """Render aggregated rows alone — no report object required.
+
+    Used when the rows were streamed from a result store
+    (``repro grid report``) and there is no single grid spec to frame
+    them: scenarios and protocols are shown sorted, one table per
+    scenario label, each row annotated with its seed count.
+    """
+    scenarios = sorted({scenario for scenario, _ in rows})
+    blocks: List[str] = [] if heading is None else [heading]
+    for scenario in scenarios:
+        protocols = sorted(
+            protocol for (s, protocol) in rows if s == scenario
+        )
+        seed_counts = {rows[(scenario, p)].seeds for p in protocols}
+        note = (
+            f"mean over {next(iter(seed_counts))} seeds"
+            if len(seed_counts) == 1
+            else "mean over stored seeds"
+        )
+        blocks.append(
+            _scenario_table(
+                rows, scenario, protocols, title=f"scenario: {scenario} ({note})"
             )
-    return rows
+        )
+    return "\n\n".join(blocks)
 
 
 def render_sweep_report(report: Any) -> str:
@@ -73,22 +184,11 @@ def render_sweep_report(report: Any) -> str:
         f"({report.max_queries} queries per cell)"
     ]
     for scenario in report.scenarios:
-        table_rows = []
-        for protocol in report.protocols:
-            row = rows[(scenario, protocol)]
-            table_rows.append(
-                [
-                    protocol,
-                    format_percent(row.success_rate),
-                    row.mean_messages,
-                    row.mean_download_distance_ms,
-                    row.locally_satisfied,
-                ]
-            )
         blocks.append(
-            format_table(
-                ["protocol", "success", "msgs/query", "distance ms", "local hits"],
-                table_rows,
+            _scenario_table(
+                rows,
+                scenario,
+                list(report.protocols),
                 title=f"scenario: {scenario} (mean over {len(report.seeds)} seeds)",
             )
         )

@@ -11,8 +11,14 @@ Subcommands:
 - ``ablation`` — run one ablation sweep (a1..a8, ext, ext2);
 - ``report``   — emit the markdown paper-vs-measured report;
 - ``sweep``    — run a protocol × scenario × seed grid, optionally in
-  parallel worker processes (``--workers``) and with per-worker
-  topology-build reuse (``--reuse-builds``);
+  parallel worker processes (``--workers``), with per-worker
+  topology-build reuse (``--reuse-builds``), and persisted with
+  ``--out FILE``;
+- ``grid``     — parameterised experiment grids over a
+  content-addressed result store: ``grid run`` executes (and resumes)
+  a protocol × scenario(+params) × config-override × seed grid,
+  ``grid report`` aggregates a store from disk, ``grid ls`` lists the
+  stored cells;
 - ``seed-sweep`` — claim robustness across several seeds;
 - ``info``     — show the §5.1 configuration and the system inventory.
 
@@ -24,8 +30,13 @@ Examples::
     repro-locaware ablation a6
     repro-locaware report --load run.json > measured.md
     repro-locaware sweep --scenarios flash-crowd diurnal --workers 4
-    repro-locaware sweep --workers 4 --reuse-builds
+    repro-locaware sweep --workers 4 --reuse-builds --out sweep.json
     repro-locaware sweep --list
+    repro-locaware grid run --store results --config small \\
+        --scenarios baseline churn-storm:storm_session_s=120 \\
+        --set ttl=5,7 --seeds 1 2 --queries 200 --workers 4
+    repro-locaware grid report --store results
+    repro-locaware grid ls --store results
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
 """
 
@@ -171,6 +182,76 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--list", action="store_true", help="list registered scenarios and exit"
     )
+    sweep.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="persist the sweep report as a grid-report JSON document "
+        "(reload with repro.analysis.load_grid_report_document)",
+    )
+
+    grid = sub.add_parser(
+        "grid",
+        help="parameterised experiment grids over a content-addressed "
+        "result store (resumable)",
+    )
+    grid_sub = grid.add_subparsers(dest="grid_command", required=True)
+
+    grid_run = grid_sub.add_parser(
+        "run",
+        help="execute a grid, skipping cells the store already holds",
+    )
+    grid_run.add_argument(
+        "--store",
+        metavar="DIR",
+        default="results",
+        help="result-store directory (default: results)",
+    )
+    grid_run.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="JSON grid spec (GridSpec.to_dict format); overrides the "
+        "axis flags below",
+    )
+    grid_run.add_argument(
+        "--protocols", nargs="+", default=list(DEFAULT_PROTOCOL_ORDER),
+        metavar="NAME",
+    )
+    grid_run.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["baseline"],
+        metavar="NAME[:K=V,...]",
+        help="scenario axis; parameter overrides attach after a colon, "
+        "e.g. churn-storm:storm_session_s=120",
+    )
+    grid_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=V1[,V2,...]",
+        help="config-override axis: one axis per flag, cartesian "
+        "product across flags (e.g. --set ttl=5,7 --set bloom_bits=600)",
+    )
+    grid_run.add_argument("--seeds", type=int, nargs="+", default=[20090322])
+    grid_run.add_argument("--queries", type=int, default=200)
+    grid_run.add_argument("--bucket", type=int, default=None)
+    grid_run.add_argument("--workers", type=int, default=1)
+    grid_run.add_argument("--reuse-builds", action="store_true")
+    grid_run.add_argument(
+        "--config", choices=("paper", "small"), default="paper",
+        help="base configuration preset",
+    )
+
+    grid_report = grid_sub.add_parser(
+        "report", help="aggregate a result store incrementally from disk"
+    )
+    grid_report.add_argument("--store", metavar="DIR", default="results")
+
+    grid_ls = grid_sub.add_parser("ls", help="list the stored cells")
+    grid_ls.add_argument("--store", metavar="DIR", default="results")
 
     seed_sweep = sub.add_parser(
         "seed-sweep", help="claim robustness across seeds"
@@ -314,17 +395,188 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     )
     print(f"  {report.num_cells} cells in {time.time() - started:.1f}s\n", file=out)
     print(render_sweep_report(report), file=out)
+    if args.out:
+        from .analysis import save_grid_report
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            save_grid_report(report, handle)
+        print(f"\nsaved report to {args.out}", file=out)
     return 0
+
+
+def _parse_override_axes(entries):
+    """``--set FIELD=V1[,V2,...]`` flags → the config-override axis."""
+    import itertools
+
+    from .experiments.grid import parse_scalar
+
+    axes = []
+    fields = []
+    for entry in entries:
+        name, separator, raw = entry.partition("=")
+        name = name.strip()
+        if not separator or not name or not raw:
+            raise ValueError(
+                f"--set expects FIELD=VALUE[,VALUE...], got {entry!r}"
+            )
+        if name in fields:
+            raise ValueError(f"--set names field {name!r} more than once")
+        fields.append(name)
+        axes.append([(name, parse_scalar(value)) for value in raw.split(",")])
+    if not axes:
+        return [{}]
+    return [dict(combination) for combination in itertools.product(*axes)]
+
+
+def _grid_spec_from_args(args: argparse.Namespace):
+    from .experiments import GridSpec, paper_config, small_config
+
+    if args.spec:
+        import json
+
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return GridSpec.from_dict(json.load(handle))
+    base = small_config() if args.config == "small" else paper_config()
+    return GridSpec(
+        base_config=base,
+        protocols=args.protocols,
+        scenarios=args.scenarios,
+        config_overrides=_parse_override_axes(args.overrides),
+        seeds=args.seeds,
+        max_queries=args.queries,
+        bucket_width=args.bucket,
+    )
+
+
+def _cmd_grid_run(args: argparse.Namespace, out) -> int:
+    from .analysis import render_sweep_report
+    from .experiments import GridRunner
+    from .results import ResultStore
+    from .sim.errors import ConfigurationError
+
+    try:
+        spec = _grid_spec_from_args(args)
+        runner = GridRunner(
+            spec,
+            workers=args.workers,
+            reuse_builds=args.reuse_builds,
+            store=ResultStore(args.store),
+        )
+    except (ValueError, ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    started = time.time()
+    try:
+        report = runner.run(
+            progress=lambda m: print(
+                f"  [{time.time() - started:6.1f}s] {m}", file=out, flush=True
+            )
+        )
+    except (ValueError, KeyError, OSError) as error:
+        # Run-time store failures — --store pointing at a regular
+        # file, a full disk, a corrupt cached document being resumed
+        # over — are operator errors, not tracebacks.
+        print(f"error: {error}", file=out)
+        return 2
+    print(
+        f"  cells: total={report.num_cells} executed={report.executed} "
+        f"cached={report.cached} in {time.time() - started:.1f}s",
+        file=out,
+    )
+    print(f"  store: {args.store}\n", file=out)
+    print(render_sweep_report(report), file=out)
+    return 0
+
+
+def _cmd_grid_report(args: argparse.Namespace, out) -> int:
+    from .analysis import SweepAggregator, render_sweep_rows
+    from .analysis.persistence import load_grid_cell_document
+    from .results import ResultStore
+
+    store = ResultStore(args.store)
+    aggregator = SweepAggregator()
+    cells = 0
+    try:
+        for key in store.keys():
+            document = store.get(key)
+            run = load_grid_cell_document(document)
+            cell = document["cell"]
+            aggregator.add(cell["label"], cell["protocol"], run)
+            cells += 1
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: unreadable store document: {error}", file=out)
+        return 2
+    if not cells:
+        print(f"no cells stored under {args.store}", file=out)
+        return 1
+    print(
+        render_sweep_rows(
+            aggregator.rows(),
+            heading=f"Result store {args.store}: {cells} cells, "
+            f"{len(aggregator)} rows",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_grid_ls(args: argparse.Namespace, out) -> int:
+    from .analysis.tables import format_table
+    from .results import ResultStore
+
+    store = ResultStore(args.store)
+    rows = []
+    try:
+        for key in store.keys():
+            document = store.get(key)
+            cell = document["cell"]
+            rows.append(
+                [
+                    key[:12],
+                    cell["label"],
+                    cell["protocol"],
+                    cell["seed"],
+                    document["max_queries"],
+                ]
+            )
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: unreadable store document: {error}", file=out)
+        return 2
+    if not rows:
+        print(f"no cells stored under {args.store}", file=out)
+        return 1
+    rows.sort(key=lambda row: (row[1], row[2], row[3]))
+    print(
+        format_table(
+            ["key", "scenario", "protocol", "seed", "queries"],
+            rows,
+            title=f"Result store {args.store}: {len(rows)} cells",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace, out) -> int:
+    return {
+        "run": _cmd_grid_run,
+        "report": _cmd_grid_report,
+        "ls": _cmd_grid_ls,
+    }[args.grid_command](args, out)
 
 
 def _cmd_seed_sweep(args: argparse.Namespace, out) -> int:
     from .experiments.robustness import run_seed_sweep
 
-    sweep = run_seed_sweep(
-        args.seeds,
-        max_queries=args.queries,
-        progress=lambda m: print(f"  {m}", file=out, flush=True),
-    )
+    try:
+        sweep = run_seed_sweep(
+            args.seeds,
+            max_queries=args.queries,
+            progress=lambda m: print(f"  {m}", file=out, flush=True),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
     print(sweep.render(), file=out)
     return 0 if sweep.all_claims_always_hold() else 1
 
@@ -349,6 +601,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "grid": _cmd_grid,
     "seed-sweep": _cmd_seed_sweep,
     "info": _cmd_info,
 }

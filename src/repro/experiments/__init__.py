@@ -1,6 +1,14 @@
 """Experiment drivers: §5.1 setup, figure reproductions, ablations."""
 
 from . import ablations, fig2_download_distance, fig3_search_traffic, fig4_success_rate
+from .grid import (
+    GridCell,
+    GridReport,
+    GridRunner,
+    GridSpec,
+    ScenarioSpec,
+    execute_cells,
+)
 from .robustness import SeedSweepResult, run_seed_sweep
 from .runner import (
     DEFAULT_PROTOCOL_ORDER,
@@ -46,4 +54,10 @@ __all__ = [
     "SweepCell",
     "SweepReport",
     "SweepRunner",
+    "ScenarioSpec",
+    "GridCell",
+    "GridSpec",
+    "GridReport",
+    "GridRunner",
+    "execute_cells",
 ]

@@ -1,0 +1,669 @@
+"""Declarative experiment grids with a resumable, content-addressed cache.
+
+The paper's evaluation — and every ablation after it — is a grid:
+**protocol × scenario-with-parameter-overrides × config-overrides ×
+seed**.  :class:`GridSpec` declares that grid, expands it into
+:class:`GridCell` coordinates, and validates every axis up front (a
+typo'd scenario parameter fails before any simulation runs).
+:class:`GridRunner` executes the cells — serial or across a
+``multiprocessing`` pool — and, when given a
+:class:`~repro.results.store.ResultStore`, persists each completed
+cell under its content-addressed key and *skips* every cell the store
+already holds.  An interrupted 500-cell sweep restarts at full speed;
+a repeated one costs zero executions.
+
+This module is also the single sweep engine: :class:`~repro.
+experiments.sweep.SweepRunner` and :func:`~repro.experiments.
+robustness.run_seed_sweep` both drive their cells through
+:func:`execute_cells`, so serial/parallel equivalence and blueprint
+reuse are implemented (and tested) exactly once.
+
+Usage::
+
+    spec = GridSpec(
+        base_config=small_config(),
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "churn-storm:storm_session_s=120"),
+        config_overrides=({}, {"ttl": 5}),
+        seeds=(1, 2),
+        max_queries=200,
+    )
+    report = GridRunner(spec, workers=4, store=ResultStore("results")).run()
+    print(render_sweep_report(report))
+
+``repro grid run|report|ls`` is the CLI face of this module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..analysis.persistence import grid_cell_to_document, load_grid_cell_document
+from ..overlay.blueprint import NetworkBlueprint
+from ..results import ResultStore, cell_key, cell_key_payload, cell_label
+from ..scenarios import make_scenario
+from ..sim.config import SimulationConfig
+from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, run_protocol
+from .setup import paper_config
+
+__all__ = [
+    "ScenarioSpec",
+    "GridCell",
+    "GridSpec",
+    "GridReport",
+    "GridRunner",
+    "execute_cells",
+    "parse_scalar",
+]
+
+#: Per-process blueprint cache, keyed by topology fingerprint.  Worker
+#: processes live for the whole sweep (no ``maxtasksperchild``), so a
+#: worker that already built a cell's topology instantiates it for
+#: every later cell with the same fingerprint instead of rebuilding.
+_BLUEPRINT_CACHE: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
+
+#: Blueprints retained per process (small LRU: with reuse-friendly task
+#: ordering, consecutive cells share a fingerprint anyway).
+_BLUEPRINT_CACHE_CAPACITY = 8
+
+
+def _cached_blueprint(config: SimulationConfig) -> NetworkBlueprint:
+    """The blueprint for ``config``, built at most once per process."""
+    fingerprint = config.topology_fingerprint()
+    blueprint = _BLUEPRINT_CACHE.get(fingerprint)
+    if blueprint is None:
+        blueprint = NetworkBlueprint.build(config)
+        _BLUEPRINT_CACHE[fingerprint] = blueprint
+        if len(_BLUEPRINT_CACHE) > _BLUEPRINT_CACHE_CAPACITY:
+            _BLUEPRINT_CACHE.popitem(last=False)
+    else:
+        _BLUEPRINT_CACHE.move_to_end(fingerprint)
+    return blueprint
+
+
+def parse_scalar(text: str) -> Any:
+    """Parse a CLI parameter value: JSON if it parses, else the string.
+
+    ``"0.3"`` → 0.3, ``"5"`` → 5, ``"true"`` → True, ``"router"`` →
+    ``"router"`` — the same coercion for scenario parameters and
+    config-override values.
+    """
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        return text
+
+
+Items = Tuple[Tuple[str, Any], ...]
+
+
+def _as_items(mapping: Mapping[str, Any]) -> Items:
+    """A mapping as a hashable, canonically ordered item tuple."""
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario axis entry: a registered name plus parameter overrides."""
+
+    name: str
+    params: Items = ()
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ScenarioSpec":
+        """Normalise an axis entry to a ScenarioSpec.
+
+        Accepts a ScenarioSpec, a string (``"name"`` or
+        ``"name:key=value,key=value"``), a ``(name, params_dict)``
+        pair, or a ``{"name": ..., "params": {...}}`` mapping.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            return cls(
+                name=value["name"], params=_as_items(value.get("params", {}))
+            )
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            name, params = value
+            return cls(name=name, params=_as_items(params))
+        raise ValueError(f"cannot interpret scenario axis entry {value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "ScenarioSpec":
+        """Parse the CLI form ``name`` or ``name:key=value,key=value``."""
+        name, _, raw = text.partition(":")
+        if not raw:
+            return cls(name=name)
+        params: Dict[str, Any] = {}
+        for pair in raw.split(","):
+            key, separator, value = pair.partition("=")
+            if not separator or not key:
+                raise ValueError(
+                    f"malformed scenario parameter {pair!r} in {text!r}; "
+                    "expected name:key=value[,key=value...]"
+                )
+            params[key.strip()] = parse_scalar(value)
+        return cls(name=name, params=_as_items(params))
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The parameter overrides as a plain dict."""
+        return dict(self.params)
+
+    def make(self):
+        """Instantiate the scenario (validating name and parameters)."""
+        return make_scenario(self.name, **self.params_dict())
+
+    @property
+    def label(self) -> str:
+        """``name`` or ``name[k=v,...]``."""
+        return cell_label(self.name, self.params_dict(), {})
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid coordinate: protocol × scenario spec × overrides × seed."""
+
+    protocol: str
+    scenario: ScenarioSpec
+    overrides: Items
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """The cell's row label (scenario + params + config overrides)."""
+        return cell_label(
+            self.scenario.name, self.scenario.params_dict(), dict(self.overrides)
+        )
+
+
+class GridSpec:
+    """A declarative protocol × scenario × config-override × seed grid.
+
+    Every axis is validated eagerly and exhaustively — empty axes,
+    duplicate entries, unknown protocols/scenarios/parameters/config
+    fields all raise :class:`ValueError` naming the offending axis —
+    so a 500-cell grid cannot die on cell 480 from a typo.
+
+    Parameters
+    ----------
+    base_config:
+        Configuration every cell starts from (default: paper §5.1).
+    protocols:
+        Axis 1 — registered protocol names.
+    scenarios:
+        Axis 2 — scenario specs: names, ``"name:key=value,..."``
+        strings, ``(name, params)`` pairs, or :class:`ScenarioSpec`s.
+    config_overrides:
+        Axis 3 — mappings of :class:`~repro.sim.config.
+        SimulationConfig` fields to values (``({},)`` = just the base
+        config).  ``seed`` is forbidden here; it is its own axis.
+    seeds:
+        Axis 4 — master seeds, one full grid slice per seed.
+    """
+
+    def __init__(
+        self,
+        base_config: Optional[SimulationConfig] = None,
+        protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
+        scenarios: Sequence[Any] = ("baseline",),
+        config_overrides: Sequence[Mapping[str, Any]] = ({},),
+        seeds: Sequence[int] = (20090322,),
+        max_queries: int = 200,
+        bucket_width: Optional[int] = None,
+    ) -> None:
+        if max_queries < 1:
+            raise ValueError(f"max_queries must be >= 1, got {max_queries}")
+        if bucket_width is not None and bucket_width < 1:
+            raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
+        self.base_config = base_config if base_config is not None else paper_config()
+        self.protocols = tuple(protocols)
+        self.seeds = tuple(seeds)
+        self.max_queries = max_queries
+        self.bucket_width = (
+            bucket_width if bucket_width is not None else max(1, max_queries // 8)
+        )
+
+        self._check_axis_not_empty("protocol", self.protocols)
+        self._check_axis_not_empty("scenario", tuple(scenarios))
+        self._check_axis_not_empty("config-override", tuple(config_overrides))
+        self._check_axis_not_empty("seed", self.seeds)
+
+        for name in self.protocols:
+            if name not in PROTOCOL_REGISTRY:
+                raise ValueError(
+                    f"unknown protocol {name!r} on the protocol axis; "
+                    f"known: {sorted(PROTOCOL_REGISTRY)}"
+                )
+        self._check_axis_unique("protocol", self.protocols)
+
+        self.scenarios: Tuple[ScenarioSpec, ...] = tuple(
+            ScenarioSpec.coerce(entry) for entry in scenarios
+        )
+        for spec in self.scenarios:
+            try:
+                spec.make()
+            except ValueError as error:
+                raise ValueError(f"scenario axis: {error}") from error
+        self._check_axis_unique(
+            "scenario", tuple(spec.label for spec in self.scenarios)
+        )
+
+        self.config_overrides: Tuple[Items, ...] = tuple(
+            self._check_override(dict(overrides)) for overrides in config_overrides
+        )
+        self._check_axis_unique("config-override", self.config_overrides)
+
+        if not all(isinstance(seed, int) for seed in self.seeds):
+            raise ValueError(f"seeds must be integers, got {list(self.seeds)}")
+        self._check_axis_unique("seed", self.seeds)
+
+    @staticmethod
+    def _check_axis_not_empty(axis: str, values: Tuple[Any, ...]) -> None:
+        if not values:
+            raise ValueError(f"the {axis} axis is empty")
+
+    @staticmethod
+    def _check_axis_unique(axis: str, values: Tuple[Any, ...]) -> None:
+        seen: set = set()
+        duplicates = []
+        for value in values:
+            if value in seen and value not in duplicates:
+                duplicates.append(value)
+            seen.add(value)
+        if duplicates:
+            raise ValueError(
+                f"duplicate entries on the {axis} axis would produce "
+                f"duplicate cells: {duplicates!r}"
+            )
+
+    def _check_override(self, overrides: Dict[str, Any]) -> Items:
+        known = set(self.base_config.to_dict())
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s) {unknown} on the config-override "
+                f"axis; known fields: {sorted(known)}"
+            )
+        if "seed" in overrides:
+            raise ValueError(
+                "the config-override axis may not set 'seed'; "
+                "seeds are their own axis"
+            )
+        # Trial replace: a bad value fails now with the field named,
+        # not 480 cells into the grid.
+        self.base_config.replace(**overrides)
+        return _as_items(overrides)
+
+    @property
+    def num_cells(self) -> int:
+        """Grid size before any store deduplication."""
+        return (
+            len(self.protocols)
+            * len(self.scenarios)
+            * len(self.config_overrides)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> List[GridCell]:
+        """The grid in its deterministic execution order."""
+        return [
+            GridCell(
+                protocol=protocol, scenario=scenario, overrides=overrides, seed=seed
+            )
+            for scenario in self.scenarios
+            for overrides in self.config_overrides
+            for protocol in self.protocols
+            for seed in self.seeds
+        ]
+
+    def cell_config(self, cell: GridCell) -> SimulationConfig:
+        """The effective configuration of one cell (overrides + seed)."""
+        config = self.base_config
+        if cell.overrides:
+            config = config.replace(**dict(cell.overrides))
+        return config.replace(seed=cell.seed)
+
+    def cell_key(self, cell: GridCell) -> str:
+        """The content-addressed store key of one cell."""
+        return cell_key(self.cell_key_payload(cell))
+
+    def cell_key_payload(self, cell: GridCell) -> Dict[str, Any]:
+        """Everything that determines the cell's results, as a dict.
+
+        Scenario parameters enter the payload *resolved* — explicit
+        overrides merged over the instantiated scenario's attribute
+        values — so changing a scenario constructor default changes
+        the key and invalidates stale cached cells (and, conversely,
+        spelling out a default explicitly hits the same cache entry as
+        omitting it, since the results are identical).
+        """
+        from ..scenarios import scenario_parameters
+
+        effective = self.cell_config(cell)
+        scenario = cell.scenario.make()
+        configured = scenario.configure(effective)
+        resolved = dict(cell.scenario.params)
+        for name in scenario_parameters(cell.scenario.name):
+            if name not in resolved and hasattr(scenario, name):
+                resolved[name] = getattr(scenario, name)
+        return cell_key_payload(
+            config=effective.to_dict(),
+            protocol=cell.protocol,
+            scenario_name=cell.scenario.name,
+            scenario_params=resolved,
+            max_queries=self.max_queries,
+            bucket_width=self.bucket_width,
+            topology_fingerprint=configured.topology_fingerprint(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able description (``from_dict`` restores it)."""
+        return {
+            "base_config": self.base_config.to_dict(),
+            "protocols": list(self.protocols),
+            "scenarios": [
+                {"name": spec.name, "params": spec.params_dict()}
+                for spec in self.scenarios
+            ],
+            "config_overrides": [dict(items) for items in self.config_overrides],
+            "seeds": list(self.seeds),
+            "max_queries": self.max_queries,
+            "bucket_width": self.bucket_width,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "GridSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a spec file)."""
+        base = doc.get("base_config")
+        return cls(
+            base_config=SimulationConfig(**base) if base else None,
+            protocols=doc.get("protocols", DEFAULT_PROTOCOL_ORDER),
+            scenarios=doc.get("scenarios", ("baseline",)),
+            config_overrides=doc.get("config_overrides", ({},)),
+            seeds=doc.get("seeds", (20090322,)),
+            max_queries=doc.get("max_queries", 200),
+            bucket_width=doc.get("bucket_width"),
+        )
+
+
+@dataclass
+class GridReport:
+    """Every cell's results plus the spec and cache accounting.
+
+    Duck-type compatible with :class:`~repro.experiments.sweep.
+    SweepReport` for :func:`repro.analysis.aggregate_sweep` /
+    :func:`repro.analysis.render_sweep_report`: ``scenarios`` exposes
+    *row labels* (scenario + params + overrides), one per (scenario,
+    config-override) combination.
+    """
+
+    spec: GridSpec
+    runs: Dict[GridCell, Any] = field(default_factory=dict)
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def base_config(self) -> SimulationConfig:
+        """The spec's base configuration."""
+        return self.spec.base_config
+
+    @property
+    def protocols(self) -> Tuple[str, ...]:
+        """The protocol axis."""
+        return self.spec.protocols
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """The seed axis."""
+        return self.spec.seeds
+
+    @property
+    def max_queries(self) -> int:
+        """Per-cell query horizon."""
+        return self.spec.max_queries
+
+    @property
+    def bucket_width(self) -> int:
+        """Per-cell figure bucket width."""
+        return self.spec.bucket_width
+
+    @property
+    def num_cells(self) -> int:
+        """How many cells the report holds."""
+        return len(self.runs)
+
+    @property
+    def scenarios(self) -> Tuple[str, ...]:
+        """Row labels, one per (scenario spec, config override)."""
+        return tuple(self._rows)
+
+    @cached_property
+    def _rows(self) -> "OrderedDict[str, Tuple[ScenarioSpec, Items]]":
+        # label → (scenario spec, overrides), built once: the spec is
+        # immutable, and aggregate/render call run_for per cell.
+        return OrderedDict(
+            (
+                cell_label(spec.name, spec.params_dict(), dict(overrides)),
+                (spec, overrides),
+            )
+            for spec in self.spec.scenarios
+            for overrides in self.spec.config_overrides
+        )
+
+    def run_for(self, protocol: str, scenario: str, seed: int) -> Any:
+        """The result of one cell (``scenario`` = its row label)."""
+        try:
+            spec, overrides = self._rows[scenario]
+        except KeyError:
+            raise KeyError(f"no grid row labelled {scenario!r}") from None
+        return self.runs[
+            GridCell(
+                protocol=protocol, scenario=spec, overrides=overrides, seed=seed
+            )
+        ]
+
+    def seed_runs(self, protocol: str, scenario: str) -> List[Any]:
+        """One (row label, protocol) row: its runs across all seeds."""
+        return [
+            self.run_for(protocol, scenario, seed) for seed in self.spec.seeds
+        ]
+
+    def mean_over_seeds(
+        self, protocol: str, scenario: str, metric: Callable[[Any], float]
+    ) -> float:
+        """Average ``metric(run)`` across the seeds of one row (NaNs skipped)."""
+        values = [metric(run) for run in self.seed_runs(protocol, scenario)]
+        clean = [v for v in values if not math.isnan(v)]
+        return sum(clean) / len(clean) if clean else math.nan
+
+
+def _note(
+    progress: Optional[Callable[[str], None]],
+    done: int,
+    total: int,
+    cell: GridCell,
+) -> None:
+    if progress is not None:
+        progress(
+            f"[{done}/{total}] {cell.label} × {cell.protocol} "
+            f"(seed {cell.seed})"
+        )
+
+
+def _run_cell(
+    task: Tuple[GridCell, SimulationConfig, int, int, bool]
+) -> Tuple[GridCell, Any]:
+    """Execute one grid cell (top-level so worker processes can pickle it)."""
+    cell, base_config, max_queries, bucket_width, reuse_builds = task
+    config = base_config
+    if cell.overrides:
+        config = config.replace(**dict(cell.overrides))
+    config = config.replace(seed=cell.seed)
+    scenario = cell.scenario.make()
+    blueprint: Optional[NetworkBlueprint] = None
+    if reuse_builds:
+        # Key the cache by the *effective* configuration so scenarios
+        # that do touch topology (e.g. cold-start's sparser shares)
+        # still share one build across the protocols of their row.
+        blueprint = _cached_blueprint(scenario.configure(config))
+    run = run_protocol(
+        config,
+        cell.protocol,
+        max_queries=max_queries,
+        bucket_width=bucket_width,
+        scenario=scenario,
+        blueprint=blueprint,
+    )
+    return cell, run
+
+
+def execute_cells(
+    spec: GridSpec,
+    cells: Sequence[GridCell],
+    workers: int = 1,
+    reuse_builds: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Iterator[Tuple[GridCell, Any]]:
+    """Execute ``cells`` and yield ``(cell, run)`` in completion order.
+
+    The one sweep engine: every cell is an isolated, seed-deterministic
+    :func:`~repro.experiments.runner.run_protocol` call, so fanning the
+    cells over a ``multiprocessing`` pool cannot change any result —
+    ``workers=1`` and ``workers=N`` are cell-for-cell identical
+    (``tests/test_determinism.py``).  With ``reuse_builds``,
+    same-topology cells are made contiguous and dispatched chunk-wise
+    so each chunk hits a worker's blueprint cache after one build;
+    results are byte-identical either way.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cells = list(cells)
+    if reuse_builds:
+        # Cell results are order-independent, so sorting only changes
+        # scheduling: one (row, seed) topology per contiguous chunk.
+        cells.sort(key=lambda c: (c.label, c.seed, c.protocol))
+    tasks = [
+        (cell, spec.base_config, spec.max_queries, spec.bucket_width, reuse_builds)
+        for cell in cells
+    ]
+    total = len(tasks)
+    workers = min(workers, total) if total else 1
+    if workers == 1:
+        for done, task in enumerate(tasks, start=1):
+            cell, run = _run_cell(task)
+            _note(progress, done, total, cell)
+            yield cell, run
+    else:
+        # fork keeps the registries without re-importing; platforms
+        # without it (or with it disabled) fall back to the default
+        # start method, where workers re-import this module and the
+        # scenario library with it.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        chunksize = len(spec.protocols) if reuse_builds else 1
+        with context.Pool(processes=workers) as pool:
+            for done, (cell, run) in enumerate(
+                pool.imap(_run_cell, tasks, chunksize=chunksize), start=1
+            ):
+                _note(progress, done, total, cell)
+                yield cell, run
+
+
+class GridRunner:
+    """Run a :class:`GridSpec`, resuming from a result store if given.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers / reuse_builds:
+        Forwarded to :func:`execute_cells` (process fan-out and
+        per-worker blueprint reuse).
+    store:
+        Optional :class:`~repro.results.store.ResultStore`.  Cells
+        whose key the store already holds are *not executed* — their
+        stored document is loaded instead — and every freshly executed
+        cell is persisted on completion.  To keep a resumed grid's
+        aggregate byte-identical to an uninterrupted one, **all** runs
+        in the report (fresh and cached alike) are normalised through
+        the document round-trip when a store is attached.
+    """
+
+    def __init__(
+        self,
+        spec: GridSpec,
+        workers: int = 1,
+        reuse_builds: bool = False,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.reuse_builds = reuse_builds
+        self.store = store
+
+    def run(
+        self, progress: Optional[Callable[[str], None]] = None
+    ) -> GridReport:
+        """Execute every missing cell and assemble the full report."""
+        cells = self.spec.expand()
+        report = GridReport(spec=self.spec)
+        pending: List[GridCell] = []
+        payloads: Dict[GridCell, Dict[str, Any]] = {}
+        for cell in cells:
+            if self.store is None:
+                pending.append(cell)
+                continue
+            payload = self.spec.cell_key_payload(cell)
+            payloads[cell] = payload
+            key = cell_key(payload)
+            if self.store.has(key):
+                report.runs[cell] = load_grid_cell_document(self.store.get(key))
+                report.cached += 1
+            else:
+                pending.append(cell)
+        for cell, run in execute_cells(
+            self.spec,
+            pending,
+            workers=self.workers,
+            reuse_builds=self.reuse_builds,
+            progress=progress,
+        ):
+            report.executed += 1
+            if self.store is None:
+                report.runs[cell] = run
+                continue
+            payload = payloads[cell]
+            key = cell_key(payload)
+            document = grid_cell_to_document(
+                cell,
+                run,
+                key=key,
+                max_queries=self.spec.max_queries,
+                bucket_width=self.spec.bucket_width,
+                topology_fingerprint=payload["topology_fingerprint"],
+            )
+            self.store.put(key, document)
+            report.runs[cell] = load_grid_cell_document(document)
+        return report

@@ -6,19 +6,27 @@ seeds and reports, per §5.2 claim, how often it holds — plus the
 spread of the headline quantities (traffic reduction, distance
 reduction, success-rate ordering margins).
 
-Used by ``python -m repro sweep`` and the claim-robustness test.
+The seeds × protocols grid is executed by the one sweep engine
+(:func:`repro.experiments.grid.execute_cells`) as a one-scenario
+:class:`~repro.experiments.grid.GridSpec` — the legacy serial
+``run_comparison``-per-seed loop is gone — with per-seed blueprint
+reuse, so all four protocols of a seed share one topology build
+exactly as ``run_comparison`` does.
+
+Used by ``python -m repro seed-sweep`` and the claim-robustness test.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..analysis.comparison import ClaimCheck, check_paper_claims, relative_change
+from ..analysis.comparison import check_paper_claims, relative_change
 from ..analysis.tables import format_percent, format_table
 from ..sim.config import SimulationConfig
-from .runner import ComparisonResult, run_comparison
+from .grid import GridSpec, execute_cells
+from .runner import DEFAULT_PROTOCOL_ORDER, ProtocolRun
 from .setup import paper_config
 
 __all__ = ["SeedSweepResult", "run_seed_sweep"]
@@ -99,25 +107,49 @@ def run_seed_sweep(
     max_queries: int = 1000,
     bucket_width: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> SeedSweepResult:
-    """Run the four-way comparison per seed and tally the claim checks."""
+    """Run the four-way comparison per seed and tally the claim checks.
+
+    The seeds × protocols grid runs through the shared sweep engine
+    with blueprint reuse (one topology build per seed, shared across
+    the four protocols); ``workers`` fans the cells over processes —
+    results are identical at any worker count.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
     base = base if base is not None else paper_config()
     width = bucket_width if bucket_width is not None else max(1, max_queries // 8)
+    spec = GridSpec(
+        base_config=base,
+        protocols=DEFAULT_PROTOCOL_ORDER,
+        scenarios=("baseline",),
+        seeds=seeds,
+        max_queries=max_queries,
+        bucket_width=width,
+    )
+    runs: Dict[Tuple[str, int], ProtocolRun] = {}
+    announced: Set[int] = set()
+    for cell, run in execute_cells(spec, spec.expand(), workers=workers,
+                                   reuse_builds=True):
+        if progress is not None and cell.seed not in announced:
+            announced.add(cell.seed)
+            progress(f"seed {cell.seed}...")
+        runs[(cell.protocol, cell.seed)] = run
+
     sweep = SeedSweepResult(seeds=list(seeds), max_queries=max_queries)
     for seed in seeds:
-        if progress is not None:
-            progress(f"seed {seed}...")
-        result = run_comparison(
-            base.replace(seed=seed), max_queries=max_queries, bucket_width=width
-        )
-        checks = check_paper_claims(result.summaries(), result.series())
+        summaries = {
+            name: runs[(name, seed)].summary for name in DEFAULT_PROTOCOL_ORDER
+        }
+        series = {
+            name: runs[(name, seed)].series for name in DEFAULT_PROTOCOL_ORDER
+        }
+        checks = check_paper_claims(summaries, series)
         for check in checks:
             sweep.claim_passes.setdefault(check.claim, 0)
             if check.holds:
                 sweep.claim_passes[check.claim] += 1
-        summaries = result.summaries()
         flooding = summaries["flooding"]
         locaware = summaries["locaware"]
         sweep.traffic_reductions.append(

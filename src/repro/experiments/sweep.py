@@ -8,6 +8,15 @@ streams), so :class:`SweepRunner` can fan cells out over a
 ``workers=1`` and ``workers=N`` produce identical results cell for
 cell, which ``tests/test_determinism.py`` locks in.
 
+Since the experiment-grid subsystem landed, this module is a thin
+named-scenario face over the one sweep engine in
+:mod:`repro.experiments.grid`: ``SweepRunner`` builds a
+:class:`~repro.experiments.grid.GridSpec` (no scenario parameters, no
+config-override axis) and drives it through
+:func:`~repro.experiments.grid.execute_cells`.  Use the grid API
+directly when you need parameterised scenarios, config-override axes,
+or the resumable result store.
+
 Usage::
 
     runner = SweepRunner(
@@ -27,42 +36,27 @@ Usage::
 from __future__ import annotations
 
 import math
-import multiprocessing
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..overlay.blueprint import NetworkBlueprint
 from ..scenarios import get_scenario
 from ..sim.config import SimulationConfig
-from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, ProtocolRun, run_protocol
+from .grid import (
+    GridSpec,
+    _BLUEPRINT_CACHE,
+    _BLUEPRINT_CACHE_CAPACITY,
+    _cached_blueprint,
+    execute_cells,
+)
+from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, ProtocolRun
 from .setup import paper_config
 
 __all__ = ["SweepCell", "SweepReport", "SweepRunner"]
 
-#: Per-process blueprint cache, keyed by topology fingerprint.  Worker
-#: processes live for the whole sweep (no ``maxtasksperchild``), so a
-#: worker that already built a cell's topology instantiates it for
-#: every later cell with the same fingerprint instead of rebuilding.
-_BLUEPRINT_CACHE: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
-
-#: Blueprints retained per process (small LRU: with reuse-friendly task
-#: ordering, consecutive cells share a fingerprint anyway).
-_BLUEPRINT_CACHE_CAPACITY = 8
-
-
-def _cached_blueprint(config: SimulationConfig) -> NetworkBlueprint:
-    """The blueprint for ``config``, built at most once per process."""
-    fingerprint = config.topology_fingerprint()
-    blueprint = _BLUEPRINT_CACHE.get(fingerprint)
-    if blueprint is None:
-        blueprint = NetworkBlueprint.build(config)
-        _BLUEPRINT_CACHE[fingerprint] = blueprint
-        if len(_BLUEPRINT_CACHE) > _BLUEPRINT_CACHE_CAPACITY:
-            _BLUEPRINT_CACHE.popitem(last=False)
-    else:
-        _BLUEPRINT_CACHE.move_to_end(fingerprint)
-    return blueprint
+# Re-exported for callers (tests, benches) that manage the per-process
+# blueprint cache through this module; the cache itself lives with the
+# engine in repro.experiments.grid.
+_ = (_BLUEPRINT_CACHE, _BLUEPRINT_CACHE_CAPACITY, _cached_blueprint)
 
 
 @dataclass(frozen=True)
@@ -155,6 +149,10 @@ class SweepRunner:
             raise ValueError("at least one scenario is required")
         if not seeds:
             raise ValueError("at least one seed is required")
+        if len(set(protocols)) != len(protocols):
+            raise ValueError(f"protocols must be unique, got {list(protocols)}")
+        if len(set(scenarios)) != len(scenarios):
+            raise ValueError(f"scenarios must be unique, got {list(scenarios)}")
         if len(set(seeds)) != len(seeds):
             raise ValueError(f"seeds must be unique, got {list(seeds)}")
         if max_queries < 1:
@@ -181,6 +179,17 @@ class SweepRunner:
         self.workers = workers
         self.reuse_builds = reuse_builds
 
+    def _spec(self) -> GridSpec:
+        """This sweep as a (parameterless) grid spec."""
+        return GridSpec(
+            base_config=self.base_config,
+            protocols=self.protocols,
+            scenarios=self.scenarios,
+            seeds=self.seeds,
+            max_queries=self.max_queries,
+            bucket_width=self.bucket_width,
+        )
+
     def cells(self) -> List[SweepCell]:
         """The grid in its deterministic execution order."""
         return [
@@ -200,25 +209,7 @@ class SweepRunner:
         which *does* vary across pools and with ``reuse_builds`` —
         never affects the report.
         """
-        cells = self.cells()
-        if self.reuse_builds:
-            # Same-topology cells (same scenario and seed) are made
-            # contiguous and dispatched chunk-wise, so each chunk hits
-            # a worker's blueprint cache after one build.  Cell results
-            # are order-independent, so this only changes scheduling.
-            cells = sorted(
-                cells, key=lambda c: (c.scenario, c.seed, c.protocol)
-            )
-        tasks = [
-            (
-                cell,
-                self.base_config,
-                self.max_queries,
-                self.bucket_width,
-                self.reuse_builds,
-            )
-            for cell in cells
-        ]
+        spec = self._spec()
         report = SweepReport(
             base_config=self.base_config,
             protocols=self.protocols,
@@ -227,60 +218,18 @@ class SweepRunner:
             max_queries=self.max_queries,
             bucket_width=self.bucket_width,
         )
-        workers = min(self.workers, len(tasks))
-        total = len(tasks)
-        if workers == 1:
-            completed = (_run_cell(task) for task in tasks)
-            for done, (cell, run) in enumerate(completed, start=1):
-                report.runs[cell] = run
-                _note(progress, done, total, cell)
-        else:
-            # fork keeps the registries without re-importing; platforms
-            # without it (or with it disabled) fall back to the default
-            # start method, where workers re-import this module and the
-            # scenario library with it.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            chunksize = len(self.protocols) if self.reuse_builds else 1
-            with context.Pool(processes=workers) as pool:
-                for done, (cell, run) in enumerate(
-                    pool.imap(_run_cell, tasks, chunksize=chunksize), start=1
-                ):
-                    report.runs[cell] = run
-                    _note(progress, done, total, cell)
+        for cell, run in execute_cells(
+            spec,
+            spec.expand(),
+            workers=self.workers,
+            reuse_builds=self.reuse_builds,
+            progress=progress,
+        ):
+            report.runs[
+                SweepCell(
+                    protocol=cell.protocol,
+                    scenario=cell.scenario.name,
+                    seed=cell.seed,
+                )
+            ] = run
         return report
-
-
-def _note(
-    progress: Optional[Callable[[str], None]], done: int, total: int, cell: SweepCell
-) -> None:
-    if progress is not None:
-        progress(
-            f"[{done}/{total}] {cell.scenario} × {cell.protocol} "
-            f"(seed {cell.seed})"
-        )
-
-
-def _run_cell(
-    task: Tuple[SweepCell, SimulationConfig, int, int, bool]
-) -> Tuple[SweepCell, ProtocolRun]:
-    """Execute one grid cell (top-level so worker processes can pickle it)."""
-    cell, base_config, max_queries, bucket_width, reuse_builds = task
-    config = base_config.replace(seed=cell.seed)
-    blueprint: Optional[NetworkBlueprint] = None
-    if reuse_builds:
-        # Key the cache by the *effective* configuration so scenarios
-        # that do touch topology (e.g. cold-start's sparser shares)
-        # still share one build across the protocols of their row.
-        blueprint = _cached_blueprint(get_scenario(cell.scenario).configure(config))
-    run = run_protocol(
-        config,
-        cell.protocol,
-        max_queries=max_queries,
-        bucket_width=bucket_width,
-        scenario=cell.scenario,
-        blueprint=blueprint,
-    )
-    return cell, run

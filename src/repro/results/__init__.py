@@ -1,0 +1,31 @@
+"""Content-addressed persistence of experiment results.
+
+The grid runner (:mod:`repro.experiments.grid`) keys every completed
+cell by a SHA-256 over everything that determines its results
+(:mod:`repro.results.keys`) and persists the cell document in a
+sharded on-disk :class:`~repro.results.store.ResultStore` — which is
+what makes interrupted grids resumable and repeated grids free.
+
+This package is a leaf: it imports only the standard library, so both
+the experiments and the analysis layers can build on it.
+"""
+
+from .keys import (
+    SCHEMA_VERSION,
+    canonical_json,
+    cell_key,
+    cell_key_payload,
+    cell_label,
+    scenario_label,
+)
+from .store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "cell_key",
+    "cell_key_payload",
+    "cell_label",
+    "scenario_label",
+    "ResultStore",
+]

@@ -1,0 +1,108 @@
+"""Content-addressed on-disk store for completed experiment cells.
+
+One completed grid cell = one JSON file, named by the cell's
+content-addressed key (:mod:`repro.results.keys`) and sharded by the
+first two hex digits so a 100k-cell store does not put every file in
+one directory::
+
+    <root>/
+      ab/
+        ab3f...e1.json
+      c0/
+        c04d...92.json
+
+Writes are atomic (temp file + ``os.replace`` in the same directory),
+so a grid interrupted mid-write never leaves a truncated document that
+a resumed run would mistake for a completed cell — a half-written cell
+simply does not exist.  Documents are plain JSON, diffable, and safe
+to delete individually: removing a file re-runs exactly that cell on
+the next invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Union
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A directory of content-addressed result documents."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where the document for ``key`` lives (whether or not it exists)."""
+        self._check_key(key)
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether a completed document is stored under ``key``."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Dict[str, Any]:
+        """Load the document stored under ``key`` (KeyError if absent)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(f"no result stored under key {key!r}") from None
+
+    def put(self, key: str, document: Dict[str, Any]) -> Path:
+        """Atomically persist ``document`` under ``key``.
+
+        The document is written to a temp file in the destination
+        directory and renamed into place, so concurrent readers (and a
+        crash mid-write) only ever observe complete documents.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.parent / f".{key}.{os.getpid()}.tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temporary, path)
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove the document under ``key``; False if it was absent."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """Every stored key, in sorted (deterministic) order.
+
+        Stray files that are not content-addressed documents (wrong
+        stem shape, or parked in the wrong shard) are skipped, so a
+        reader iterating the store never trips over a note someone
+        dropped next to the results.
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            key = path.stem
+            if (
+                len(key) == 64
+                and all(c in "0123456789abcdef" for c in key)
+                and key[:2] == path.parent.name
+            ):
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed result-store key: {key!r}")

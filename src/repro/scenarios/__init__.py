@@ -7,13 +7,16 @@ baseline).  See :mod:`repro.scenarios.base` for the registry API and
 """
 
 from .base import (
+    SCENARIO_CLASSES,
     SCENARIO_REGISTRY,
     Scenario,
     ScenarioContext,
     expected_horizon_s,
     get_scenario,
+    make_scenario,
     register_scenario,
     scenario_names,
+    scenario_parameters,
 )
 from .library import (
     Baseline,
@@ -33,8 +36,11 @@ __all__ = [
     "Scenario",
     "ScenarioContext",
     "SCENARIO_REGISTRY",
+    "SCENARIO_CLASSES",
     "register_scenario",
     "get_scenario",
+    "make_scenario",
+    "scenario_parameters",
     "scenario_names",
     "expected_horizon_s",
     "Baseline",

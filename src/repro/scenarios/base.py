@@ -20,10 +20,19 @@ Register a scenario with the :func:`register_scenario` decorator::
         ...
 
 and look it up by name with :func:`get_scenario`.
+
+Registration records both a default-parameter *instance* (what
+:func:`get_scenario` returns) and the *class* itself, so the class
+doubles as a factory: :func:`make_scenario` builds a variant with
+keyword overrides (``make_scenario("churn-storm", storm_time_s=30.0)``)
+after validating the keywords against the constructor signature —
+which is what lets experiment grids put scenario *parameters* on an
+axis instead of only registered names.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
 
@@ -36,8 +45,11 @@ __all__ = [
     "Scenario",
     "ScenarioContext",
     "SCENARIO_REGISTRY",
+    "SCENARIO_CLASSES",
     "register_scenario",
     "get_scenario",
+    "make_scenario",
+    "scenario_parameters",
     "scenario_names",
     "expected_horizon_s",
 ]
@@ -126,6 +138,9 @@ class Scenario:
 #: name → registered scenario instance.
 SCENARIO_REGISTRY: Dict[str, Scenario] = {}
 
+#: name → registered scenario class (the factory behind the instance).
+SCENARIO_CLASSES: Dict[str, Type[Scenario]] = {}
+
 S = TypeVar("S", bound=Type[Scenario])
 
 
@@ -137,6 +152,7 @@ def register_scenario(cls: S) -> S:
     if scenario.name in SCENARIO_REGISTRY:
         raise ValueError(f"scenario {scenario.name!r} is already registered")
     SCENARIO_REGISTRY[scenario.name] = scenario
+    SCENARIO_CLASSES[scenario.name] = cls
     return cls
 
 
@@ -148,6 +164,49 @@ def get_scenario(name: str) -> Scenario:
         raise ValueError(
             f"unknown scenario {name!r}; known: {sorted(SCENARIO_REGISTRY)}"
         ) from None
+
+
+def scenario_parameters(name: str) -> List[str]:
+    """The keyword parameters the scenario's constructor accepts, sorted.
+
+    Empty for scenarios without a constructor of their own (e.g. the
+    baseline) — such scenarios accept no overrides at all.
+    """
+    get_scenario(name)  # raises with the known-names list
+    cls = SCENARIO_CLASSES[name]
+    if cls.__init__ is object.__init__:
+        return []
+    accepted = (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+    return sorted(
+        parameter.name
+        for parameter in inspect.signature(cls.__init__).parameters.values()
+        if parameter.name != "self" and parameter.kind in accepted
+    )
+
+
+def make_scenario(name: str, **params: object) -> Scenario:
+    """Build a scenario variant with keyword overrides.
+
+    With no overrides this returns the registered (stateless, shared)
+    default instance; with overrides it validates every keyword against
+    the scenario's constructor signature and instantiates a fresh
+    variant, so a typo fails by name before any simulation runs.  Value
+    errors (e.g. a negative storm time) surface from the constructor.
+    """
+    scenario = get_scenario(name)
+    if not params:
+        return scenario
+    known = scenario_parameters(name)
+    unknown = sorted(set(params) - set(known))
+    if unknown:
+        raise ValueError(
+            f"scenario {name!r} does not accept parameter(s) {unknown}; "
+            f"accepted: {known if known else 'none'}"
+        )
+    return SCENARIO_CLASSES[name](**params)
 
 
 def scenario_names() -> List[str]:

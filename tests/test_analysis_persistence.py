@@ -112,6 +112,137 @@ class TestMarkdown:
         assert text.count("Fig4") == 3
 
 
+class TestGridReportDocuments:
+    """Sweep/grid reports round-trip through the store document format:
+    axes, row labels, and every per-run number survive, and the
+    aggregate of a restored report matches the live one exactly."""
+
+    @pytest.fixture(scope="class")
+    def sweep_report(self):
+        from repro.experiments import SweepRunner, small_config
+
+        return SweepRunner(
+            base_config=small_config(seed=3).replace(query_rate_per_peer=0.02),
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline", "diurnal"),
+            seeds=(1, 2),
+            max_queries=12,
+        ).run()
+
+    def _roundtrip(self, report):
+        from repro.analysis import load_grid_report_document, save_grid_report
+
+        buffer = io.StringIO()
+        save_grid_report(report, buffer)
+        buffer.seek(0)
+        return load_grid_report_document(buffer)
+
+    def test_document_structure(self, sweep_report):
+        from repro.analysis import grid_report_to_document
+
+        doc = grid_report_to_document(sweep_report)
+        assert doc["kind"] == "grid-report"
+        assert doc["protocols"] == ["flooding", "locaware"]
+        assert doc["scenarios"] == ["baseline", "diurnal"]
+        assert len(doc["cells"]) == sweep_report.num_cells
+        assert json.dumps(doc)  # JSON-serialisable
+
+    def test_axes_roundtrip(self, sweep_report):
+        loaded = self._roundtrip(sweep_report)
+        assert loaded.protocols == list(sweep_report.protocols)
+        assert loaded.scenarios == list(sweep_report.scenarios)
+        assert loaded.seeds == list(sweep_report.seeds)
+        assert loaded.max_queries == sweep_report.max_queries
+        assert loaded.num_cells == sweep_report.num_cells
+
+    def test_aggregate_matches_live_report(self, sweep_report):
+        from repro.analysis import aggregate_sweep, render_sweep_report
+
+        loaded = self._roundtrip(sweep_report)
+        assert repr(aggregate_sweep(loaded)) == repr(aggregate_sweep(sweep_report))
+        assert render_sweep_report(loaded) == render_sweep_report(sweep_report)
+
+    def test_summaries_roundtrip_exactly(self, sweep_report):
+        loaded = self._roundtrip(sweep_report)
+        for scenario in sweep_report.scenarios:
+            for protocol in sweep_report.protocols:
+                for seed in sweep_report.seeds:
+                    live = sweep_report.run_for(protocol, scenario, seed)
+                    restored = loaded.run_for(protocol, scenario, seed)
+                    assert restored.summary.queries == live.summary.queries
+                    assert restored.locally_satisfied == live.locally_satisfied
+                    assert restored.sim_time_s == live.sim_time_s
+
+    def test_document_is_byte_stable(self, sweep_report):
+        from repro.analysis import save_grid_report
+
+        a, b = io.StringIO(), io.StringIO()
+        save_grid_report(sweep_report, a)
+        save_grid_report(sweep_report, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_wrong_kind_rejected(self):
+        from repro.analysis import load_grid_report_document
+
+        with pytest.raises(ValueError, match="not a grid-report"):
+            load_grid_report_document(io.StringIO('{"kind": "comparison"}'))
+
+    def test_grid_report_with_parameterised_rows_roundtrips(self):
+        from repro.analysis import aggregate_sweep
+        from repro.experiments import GridRunner, GridSpec, small_config
+
+        spec = GridSpec(
+            base_config=small_config(seed=3).replace(query_rate_per_peer=0.02),
+            protocols=("flooding",),
+            scenarios=("diurnal:amplitude=0.3",),
+            config_overrides=({"ttl": 5},),
+            seeds=(1,),
+            max_queries=10,
+        )
+        report = GridRunner(spec).run()
+        loaded = self._roundtrip(report)
+        assert loaded.scenarios == ["diurnal[amplitude=0.3] @ ttl=5"]
+        assert repr(aggregate_sweep(loaded)) == repr(aggregate_sweep(report))
+
+
+class TestGridCellDocuments:
+    def test_cell_document_roundtrip(self):
+        from repro.analysis import (
+            grid_cell_to_document,
+            load_grid_cell_document,
+            run_to_document,
+        )
+        from repro.experiments import GridRunner, GridSpec, small_config
+
+        spec = GridSpec(
+            base_config=small_config(seed=3).replace(query_rate_per_peer=0.02),
+            protocols=("locaware",),
+            scenarios=("baseline",),
+            seeds=(1,),
+            max_queries=10,
+        )
+        report = GridRunner(spec).run()
+        cell, run = next(iter(report.runs.items()))
+        doc = grid_cell_to_document(
+            cell,
+            run,
+            key=spec.cell_key(cell),
+            max_queries=spec.max_queries,
+            bucket_width=spec.bucket_width,
+            topology_fingerprint="f" * 64,
+        )
+        assert doc["kind"] == "grid-cell"
+        assert doc["cell"]["label"] == "baseline"
+        restored = load_grid_cell_document(doc)
+        assert run_to_document(restored) == doc["run"]
+
+    def test_wrong_kind_rejected(self):
+        from repro.analysis import load_grid_cell_document
+
+        with pytest.raises(ValueError, match="not a grid-cell"):
+            load_grid_cell_document({"kind": "comparison"})
+
+
 class TestScenarioProvenance:
     """A persisted scenario comparison must say which regime produced it
     and record the configuration the runs actually used."""

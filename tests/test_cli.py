@@ -75,6 +75,18 @@ class TestSweepCommand:
         assert code == 2
         assert "unique" in text
 
+    def test_sweep_rejects_duplicate_protocols_cleanly(self):
+        code, text = run_cli(
+            "sweep", "--protocols", "flooding", "flooding", "--queries", "5"
+        )
+        assert code == 2
+        assert "protocols must be unique" in text
+
+    def test_seed_sweep_rejects_duplicate_seeds_cleanly(self):
+        code, text = run_cli("seed-sweep", "--seeds", "1", "1", "--queries", "5")
+        assert code == 2
+        assert "error:" in text and "duplicate" in text
+
     def test_sweep_runs_small_grid_in_parallel(self):
         code, text = run_cli(
             "sweep",
@@ -167,6 +179,187 @@ class TestSweepReuseBuilds:
         )
         assert code == 0
         assert "4 cells" in text
+
+
+class TestSweepOut:
+    def test_sweep_out_persists_a_loadable_grid_report(self, tmp_path):
+        from repro.analysis import load_grid_report_document
+
+        path = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "sweep",
+            "--config", "small",
+            "--protocols", "flooding",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "10",
+            "--out", str(path),
+        )
+        assert code == 0
+        assert f"saved report to {path}" in text
+        with open(path, encoding="utf-8") as handle:
+            loaded = load_grid_report_document(handle)
+        assert loaded.protocols == ["flooding"]
+        assert loaded.scenarios == ["baseline"]
+        assert loaded.num_cells == 1
+
+
+class TestGridCommand:
+    def _run_grid(self, store, *extra):
+        return run_cli(
+            "grid", "run",
+            "--store", str(store),
+            "--config", "small",
+            "--protocols", "flooding", "locaware",
+            "--scenarios", "baseline", "diurnal:amplitude=0.3",
+            "--seeds", "1", "2",
+            "--queries", "10",
+            *extra,
+        )
+
+    def test_grid_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid"])
+
+    def test_grid_run_defaults(self):
+        args = build_parser().parse_args(["grid", "run"])
+        assert args.grid_command == "run"
+        assert args.store == "results"
+        assert args.overrides == []
+
+    def test_cold_then_warm_run(self, tmp_path):
+        store = tmp_path / "store"
+        code, text = self._run_grid(store)
+        assert code == 0
+        assert "total=8 executed=8 cached=0" in text
+        assert "scenario: diurnal[amplitude=0.3]" in text
+        code, text = self._run_grid(store)
+        assert code == 0
+        assert "total=8 executed=0 cached=8" in text
+
+    def test_grid_run_with_override_axis_and_workers(self, tmp_path):
+        store = tmp_path / "store"
+        code, text = self._run_grid(
+            store, "--set", "ttl=5,7", "--workers", "2", "--reuse-builds"
+        )
+        assert code == 0
+        assert "total=16 executed=16 cached=0" in text
+        assert "baseline @ ttl=5" in text
+
+    def test_grid_report_streams_the_store(self, tmp_path):
+        store = tmp_path / "store"
+        self._run_grid(store)
+        code, text = run_cli("grid", "report", "--store", str(store))
+        assert code == 0
+        assert "8 cells" in text
+        assert "scenario: baseline" in text
+        assert "flooding" in text and "locaware" in text
+
+    def test_grid_ls_lists_cells(self, tmp_path):
+        store = tmp_path / "store"
+        self._run_grid(store)
+        code, text = run_cli("grid", "ls", "--store", str(store))
+        assert code == 0
+        assert "8 cells" in text
+        assert "diurnal[amplitude=0.3]" in text
+
+    def test_empty_store_reported(self, tmp_path):
+        for sub in ("report", "ls"):
+            code, text = run_cli("grid", sub, "--store", str(tmp_path / "none"))
+            assert code == 1
+            assert "no cells stored" in text
+
+    def test_bad_scenario_parameter_is_a_clean_error(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run", "--store", str(tmp_path),
+            "--scenarios", "diurnal:wobble=1", "--queries", "5",
+        )
+        assert code == 2
+        assert "does not accept parameter" in text
+
+    def test_bad_set_flag_is_a_clean_error(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run", "--store", str(tmp_path),
+            "--set", "ttl", "--queries", "5",
+        )
+        assert code == 2
+        assert "--set expects" in text
+
+    def test_spec_file_round_trip(self, tmp_path):
+        import json as _json
+
+        from repro.experiments import GridSpec, small_config
+
+        spec = GridSpec(
+            base_config=small_config(seed=1).replace(query_rate_per_peer=0.02),
+            protocols=("flooding",),
+            scenarios=("baseline",),
+            seeds=(1,),
+            max_queries=10,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(_json.dumps(spec.to_dict()))
+        code, text = run_cli(
+            "grid", "run",
+            "--store", str(tmp_path / "store"),
+            "--spec", str(spec_path),
+        )
+        assert code == 0
+        assert "total=1 executed=1 cached=0" in text
+
+    def test_missing_spec_file_is_a_clean_error(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run", "--store", str(tmp_path),
+            "--spec", str(tmp_path / "nope.json"),
+        )
+        assert code == 2
+        assert "error:" in text
+
+    def test_store_pointing_at_a_file_is_a_clean_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        code, text = run_cli(
+            "grid", "run",
+            "--store", str(blocker),
+            "--config", "small",
+            "--protocols", "flooding",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "5",
+        )
+        assert code == 2
+        assert "error:" in text
+
+    def test_corrupt_store_document_is_a_clean_error(self, tmp_path):
+        store = tmp_path / "store"
+        shard = store / "ab"
+        shard.mkdir(parents=True)
+        (shard / ("ab" + "0" * 62 + ".json")).write_text("{not json")
+        for sub in ("report", "ls"):
+            code, text = run_cli("grid", sub, "--store", str(store))
+            assert code == 2
+            assert "unreadable store document" in text
+
+    def test_resuming_over_a_corrupt_document_is_a_clean_error(self, tmp_path):
+        from repro.results import ResultStore
+
+        store = tmp_path / "store"
+        args = (
+            "grid", "run",
+            "--store", str(store),
+            "--config", "small",
+            "--protocols", "flooding",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "5",
+        )
+        code, _text = run_cli(*args)
+        assert code == 0
+        key = next(ResultStore(store).keys())
+        ResultStore(store).path_for(key).write_text("{not json")
+        code, text = run_cli(*args)
+        assert code == 2
+        assert "error:" in text
 
 
 class TestClaimsScenarioNote:

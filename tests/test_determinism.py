@@ -1,6 +1,6 @@
 """Determinism/regression harness.
 
-Three guarantees are locked in here:
+Four guarantees are locked in here:
 
 1. **Replay determinism** — for every protocol in ``PROTOCOL_REGISTRY``
    (and every registered scenario), two ``run_protocol`` calls with the
@@ -13,6 +13,11 @@ Three guarantees are locked in here:
    ``NetworkBlueprint`` is byte-identical to a from-scratch build, for
    every protocol × scenario × seed cell, and a ``reuse_builds``
    parallel sweep equals the serial scratch sweep cell for cell.
+4. **Grid determinism** — *parameterised* scenario cells (scenario
+   factories with keyword overrides, config-override axes) replay
+   identically for the same spec + seed, parallel equals serial, and
+   the parameters demonstrably reach the runs (different parameters ⇒
+   different results).
 """
 
 import json
@@ -21,13 +26,15 @@ import math
 import pytest
 
 from repro.experiments import (
+    GridRunner,
+    GridSpec,
     PROTOCOL_REGISTRY,
     SweepRunner,
     run_protocol,
     small_config,
 )
 from repro.overlay import NetworkBlueprint
-from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios import get_scenario, make_scenario, scenario_names
 
 
 def _config(seed=5):
@@ -162,6 +169,98 @@ class TestSweepParallelEquivalence:
             scenario="flash-crowd",
         )
         assert run_fingerprint(cell_run) == run_fingerprint(direct)
+
+
+class TestGridDeterminism:
+    """Parameterised scenarios keep every determinism guarantee: same
+    spec + seed ⇒ cell-for-cell identical results, parallel == serial,
+    and blueprint reuse changes nothing."""
+
+    GRID = dict(
+        protocols=("flooding", "locaware"),
+        scenarios=(
+            "baseline",
+            "flash-crowd:spike_probability=0.95",
+            "churn-storm:storm_session_s=120",
+        ),
+        config_overrides=({}, {"ttl": 5}),
+        seeds=(3, 4),
+        max_queries=20,
+    )
+
+    def _spec(self, **overrides):
+        kwargs = dict(self.GRID, base_config=_config())
+        kwargs.update(overrides)
+        return GridSpec(**kwargs)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return GridRunner(self._spec()).run()
+
+    def test_same_spec_same_results(self, serial):
+        again = GridRunner(self._spec()).run()
+        assert set(serial.runs) == set(again.runs)
+        for cell, run in serial.runs.items():
+            assert run_fingerprint(run) == run_fingerprint(again.runs[cell]), cell
+
+    def test_parallel_equals_serial(self, serial):
+        parallel = GridRunner(self._spec(), workers=3).run()
+        assert set(serial.runs) == set(parallel.runs)
+        for cell, run in serial.runs.items():
+            assert run_fingerprint(run) == run_fingerprint(
+                parallel.runs[cell]
+            ), f"parallel grid run diverged from serial at {cell}"
+
+    def test_reuse_builds_equals_scratch(self, serial):
+        reused = GridRunner(self._spec(), reuse_builds=True).run()
+        for cell, run in serial.runs.items():
+            assert run_fingerprint(run) == run_fingerprint(reused.runs[cell]), cell
+
+    def test_parameterised_cell_equals_direct_run_protocol(self, serial):
+        """A parameterised grid cell equals a hand-rolled run_protocol
+        call on the same scenario variant."""
+        label = "flash-crowd[spike_probability=0.95]"
+        cell_run = serial.run_for("locaware", label, 3)
+        direct = run_protocol(
+            _config(seed=3),
+            "locaware",
+            max_queries=self.GRID["max_queries"],
+            bucket_width=self._spec().bucket_width,
+            scenario=make_scenario("flash-crowd", spike_probability=0.95),
+        )
+        assert run_fingerprint(cell_run) == run_fingerprint(direct)
+
+    def test_scenario_parameters_reach_the_simulation(self):
+        """Different parameter values must change the results, or the
+        parameter axis would silently collapse."""
+        mild = GridRunner(
+            self._spec(
+                scenarios=("flash-crowd:spike_probability=0.05",),
+                config_overrides=({},),
+                protocols=("locaware",),
+                seeds=(3,),
+                max_queries=40,
+            )
+        ).run()
+        wild = GridRunner(
+            self._spec(
+                scenarios=("flash-crowd:spike_probability=0.95",),
+                config_overrides=({},),
+                protocols=("locaware",),
+                seeds=(3,),
+                max_queries=40,
+            )
+        ).run()
+        mild_run = next(iter(mild.runs.values()))
+        wild_run = next(iter(wild.runs.values()))
+        assert run_fingerprint(mild_run) != run_fingerprint(wild_run)
+
+    def test_config_override_axis_reaches_the_simulation(self, serial):
+        """ttl=5 rows must differ from the base-config rows."""
+        base = serial.run_for("flooding", "baseline", 3)
+        tweaked = serial.run_for("flooding", "baseline @ ttl=5", 3)
+        assert tweaked.config.ttl == 5
+        assert run_fingerprint(base) != run_fingerprint(tweaked)
 
 
 class TestBlueprintEquivalence:

@@ -1,0 +1,336 @@
+"""Tests for the experiment-grid subsystem: specs, runner, resume.
+
+The resume contract under test: a grid run against a result store
+persists every completed cell under a content-addressed key; re-running
+the identical grid executes zero cells; deleting exactly one cell file
+re-executes exactly that cell; and the aggregate of a resumed run is
+byte-identical to an uninterrupted one.
+"""
+
+import pytest
+
+from repro.analysis import aggregate_sweep, render_sweep_report
+from repro.experiments import (
+    GridCell,
+    GridReport,
+    GridRunner,
+    GridSpec,
+    ScenarioSpec,
+    small_config,
+)
+from repro.results import ResultStore
+from repro.scenarios import make_scenario, scenario_parameters
+
+
+def _base_config(seed=1):
+    return small_config(seed=seed).replace(query_rate_per_peer=0.02)
+
+
+def _spec(**overrides):
+    defaults = dict(
+        base_config=_base_config(),
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "diurnal:amplitude=0.3"),
+        seeds=(1, 2),
+        max_queries=10,
+    )
+    defaults.update(overrides)
+    return GridSpec(**defaults)
+
+
+class TestMakeScenario:
+    def test_no_params_returns_registered_instance(self):
+        from repro.scenarios import get_scenario
+
+        assert make_scenario("flash-crowd") is get_scenario("flash-crowd")
+
+    def test_params_build_fresh_variant(self):
+        scenario = make_scenario("churn-storm", storm_time_s=30.0)
+        assert scenario.storm_time_s == 30.0
+        assert scenario is not make_scenario("churn-storm")
+
+    def test_unknown_parameter_named(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            make_scenario("diurnal", wobble=3)
+
+    def test_unknown_scenario_propagates(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("meteor-strike")
+
+    def test_bad_value_surfaces_from_constructor(self):
+        with pytest.raises(ValueError, match="storm_time_s"):
+            make_scenario("churn-storm", storm_time_s=-1.0)
+
+    def test_scenario_parameters_inventory(self):
+        assert scenario_parameters("baseline") == []
+        assert scenario_parameters("diurnal") == ["amplitude", "period_s"]
+        assert "storm_session_s" in scenario_parameters("churn-storm")
+
+
+class TestScenarioSpec:
+    def test_parse_plain_name(self):
+        spec = ScenarioSpec.parse("baseline")
+        assert spec == ScenarioSpec("baseline")
+        assert spec.label == "baseline"
+
+    def test_parse_with_params(self):
+        spec = ScenarioSpec.parse("churn-storm:storm_time_s=30,storm_session_s=60")
+        assert spec.name == "churn-storm"
+        assert spec.params_dict() == {"storm_time_s": 30, "storm_session_s": 60}
+        assert spec.label == "churn-storm[storm_session_s=60,storm_time_s=30]"
+
+    def test_parse_value_types(self):
+        spec = ScenarioSpec.parse("flash-crowd:spike_probability=0.9")
+        assert spec.params_dict() == {"spike_probability": 0.9}
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError, match="malformed scenario parameter"):
+            ScenarioSpec.parse("diurnal:amplitude")
+
+    def test_coerce_forms(self):
+        expected = ScenarioSpec("diurnal", (("amplitude", 0.3),))
+        assert ScenarioSpec.coerce("diurnal:amplitude=0.3") == expected
+        assert ScenarioSpec.coerce(("diurnal", {"amplitude": 0.3})) == expected
+        assert (
+            ScenarioSpec.coerce({"name": "diurnal", "params": {"amplitude": 0.3}})
+            == expected
+        )
+        assert ScenarioSpec.coerce(expected) is expected
+        with pytest.raises(ValueError, match="cannot interpret"):
+            ScenarioSpec.coerce(42)
+
+
+class TestGridSpec:
+    def test_expand_covers_the_full_product(self):
+        spec = _spec(config_overrides=({}, {"ttl": 5}))
+        cells = spec.expand()
+        assert len(cells) == spec.num_cells == 2 * 2 * 2 * 2
+        assert len(set(cells)) == len(cells)
+        first = cells[0]
+        assert first.protocol == "flooding"
+        assert first.scenario.name == "baseline"
+        assert first.seed == 1
+
+    def test_cell_config_applies_overrides_then_seed(self):
+        spec = _spec(config_overrides=({"ttl": 5},))
+        cell = spec.expand()[-1]
+        config = spec.cell_config(cell)
+        assert config.ttl == 5
+        assert config.seed == cell.seed
+
+    def test_cell_labels(self):
+        spec = _spec(config_overrides=({"ttl": 5},))
+        labels = {cell.label for cell in spec.expand()}
+        assert labels == {"baseline @ ttl=5", "diurnal[amplitude=0.3] @ ttl=5"}
+
+    def test_cell_keys_unique_across_the_grid(self):
+        spec = _spec(config_overrides=({}, {"ttl": 5}))
+        keys = [spec.cell_key(cell) for cell in spec.expand()]
+        assert len(set(keys)) == len(keys)
+
+    def test_cell_key_stable_across_spec_instances(self):
+        a, b = _spec(), _spec()
+        for cell_a, cell_b in zip(a.expand(), b.expand()):
+            assert a.cell_key(cell_a) == b.cell_key(cell_b)
+
+    def test_key_resolves_scenario_defaults(self):
+        """An explicit parameter equal to the constructor default keys
+        identically to omitting it (identical results ⇒ one cache
+        entry), and the resolved defaults are visible in the payload —
+        so changing a default would change every key."""
+        from repro.scenarios import get_scenario
+
+        implicit = _spec(scenarios=("diurnal",))
+        default = get_scenario("diurnal").amplitude
+        explicit = _spec(scenarios=(f"diurnal:amplitude={default}",))
+        cell_implicit = implicit.expand()[0]
+        cell_explicit = explicit.expand()[0]
+        payload = implicit.cell_key_payload(cell_implicit)
+        assert payload["scenario"]["params"]["amplitude"] == default
+        assert implicit.cell_key(cell_implicit) == explicit.cell_key(
+            cell_explicit
+        )
+
+    def test_runtime_override_changes_the_key_despite_same_topology(self):
+        """ttl is not a topology field, but it changes results — the
+        key must see it even though the fingerprint does not."""
+        plain = _spec()
+        tweaked = _spec(config_overrides=({"ttl": 5},))
+        cell_plain = plain.expand()[0]
+        cell_tweaked = tweaked.expand()[0]
+        payload_plain = plain.cell_key_payload(cell_plain)
+        payload_tweaked = tweaked.cell_key_payload(cell_tweaked)
+        assert (
+            payload_plain["topology_fingerprint"]
+            == payload_tweaked["topology_fingerprint"]
+        )
+        assert plain.cell_key(cell_plain) != tweaked.cell_key(cell_tweaked)
+
+    def test_to_dict_from_dict_roundtrip(self):
+        spec = _spec(config_overrides=({}, {"ttl": 5}))
+        restored = GridSpec.from_dict(spec.to_dict())
+        assert restored.expand() == spec.expand()
+        assert [restored.cell_key(c) for c in restored.expand()] == [
+            spec.cell_key(c) for c in spec.expand()
+        ]
+
+
+class TestGridRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return GridRunner(_spec()).run()
+
+    def test_every_cell_ran(self, report):
+        assert report.num_cells == 8
+        assert report.executed == 8
+        assert report.cached == 0
+
+    def test_row_labels_and_accessors(self, report):
+        assert report.scenarios == ("baseline", "diurnal[amplitude=0.3]")
+        run = report.run_for("locaware", "diurnal[amplitude=0.3]", 2)
+        assert run.protocol_name == "locaware"
+        assert len(report.seed_runs("flooding", "baseline")) == 2
+        assert report.mean_over_seeds(
+            "flooding", "baseline", lambda r: r.summary.queries
+        ) > 0
+        with pytest.raises(KeyError, match="no grid row"):
+            report.run_for("locaware", "nope", 2)
+
+    def test_aggregate_and_render(self, report):
+        rows = aggregate_sweep(report)
+        assert set(rows) == {
+            (label, protocol)
+            for label in ("baseline", "diurnal[amplitude=0.3]")
+            for protocol in ("flooding", "locaware")
+        }
+        text = render_sweep_report(report)
+        assert "scenario: diurnal[amplitude=0.3]" in text
+
+    def test_progress_one_line_per_executed_cell(self):
+        lines = []
+        GridRunner(_spec(scenarios=("baseline",), seeds=(1,))).run(
+            progress=lines.append
+        )
+        assert len(lines) == 2
+        assert "[1/2]" in lines[0] and "baseline" in lines[0]
+
+    def test_parameterised_scenario_reaches_the_run(self):
+        spec = _spec(
+            protocols=("locaware",),
+            scenarios=("churn-storm:storm_session_s=120",),
+            seeds=(1,),
+        )
+        report = GridRunner(spec).run()
+        run = report.run_for("locaware", "churn-storm[storm_session_s=120]", 1)
+        assert run.scenario_name == "churn-storm"
+        assert run.config.churn_enabled  # configure() ran on the variant
+
+
+class TestResume:
+    GRID = dict(
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "diurnal:amplitude=0.3"),
+        seeds=(1, 2),
+        max_queries=10,
+    )
+
+    def test_identical_rerun_executes_zero_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = GridRunner(_spec(**self.GRID), store=store).run()
+        assert (cold.executed, cold.cached) == (8, 0)
+        warm = GridRunner(_spec(**self.GRID), store=store).run()
+        assert (warm.executed, warm.cached) == (0, 8)
+        assert len(store) == 8
+
+    def test_delete_one_cell_reruns_exactly_that_cell(self, tmp_path):
+        store = ResultStore(tmp_path)
+        uninterrupted = GridRunner(_spec(**self.GRID), store=store).run()
+        baseline_rows = aggregate_sweep(uninterrupted)
+        baseline_text = render_sweep_report(uninterrupted)
+
+        spec = _spec(**self.GRID)
+        victim = spec.expand()[3]
+        assert store.delete(spec.cell_key(victim)) is True
+
+        lines = []
+        resumed = GridRunner(spec, store=store).run(progress=lines.append)
+        assert (resumed.executed, resumed.cached) == (1, 7)
+        assert len(lines) == 1
+        assert victim.protocol in lines[0]
+        assert f"seed {victim.seed}" in lines[0]
+
+        # The aggregate of the resumed grid is byte-identical to the
+        # uninterrupted one — rows and rendered report alike (repr
+        # comparison so identical NaNs count as equal).
+        assert repr(aggregate_sweep(resumed)) == repr(baseline_rows)
+        assert render_sweep_report(resumed) == baseline_text
+
+    def test_store_normalises_fresh_and_cached_runs_alike(self, tmp_path):
+        """With a store attached, an executed cell's reported run equals
+        the run a later cached read restores — the document round-trip
+        is a fixed point."""
+        from repro.analysis import run_to_document
+
+        store = ResultStore(tmp_path)
+        spec = _spec(**self.GRID)
+        cold = GridRunner(spec, store=store).run()
+        warm = GridRunner(spec, store=store).run()
+        assert set(cold.runs) == set(warm.runs)
+        for cell, run in cold.runs.items():
+            assert run_to_document(run) == run_to_document(warm.runs[cell]), cell
+
+    def test_changed_horizon_misses_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        GridRunner(_spec(**self.GRID), store=store).run()
+        changed = dict(self.GRID, max_queries=12)
+        report = GridRunner(_spec(**changed), store=store).run()
+        assert report.executed == 8
+        assert report.cached == 0
+
+    def test_storeless_runner_always_executes(self):
+        spec = _spec(protocols=("flooding",), scenarios=("baseline",), seeds=(1,))
+        report = GridRunner(spec).run()
+        again = GridRunner(spec).run()
+        assert report.executed == again.executed == 1
+
+    def test_workers_and_store_compose(self, tmp_path):
+        from repro.analysis import run_to_document
+
+        serial = GridRunner(
+            _spec(**self.GRID), store=ResultStore(tmp_path / "s")
+        ).run()
+        parallel = GridRunner(
+            _spec(**self.GRID), workers=3, store=ResultStore(tmp_path / "p")
+        ).run()
+        assert set(serial.runs) == set(parallel.runs)
+        for cell in serial.runs:
+            assert run_to_document(serial.runs[cell]) == run_to_document(
+                parallel.runs[cell]
+            ), cell
+
+
+class TestSeedSweepOnGridEngine:
+    """`run_seed_sweep` is now a one-scenario grid — same results."""
+
+    def test_matches_direct_comparison(self):
+        from repro.analysis.comparison import check_paper_claims
+        from repro.experiments import run_comparison, run_seed_sweep
+
+        base = _base_config(seed=0)
+        sweep = run_seed_sweep([11], base=base, max_queries=40)
+        direct = run_comparison(
+            base.replace(seed=11), max_queries=40, bucket_width=5
+        )
+        checks = check_paper_claims(direct.summaries(), direct.series())
+        assert sweep.claim_passes == {
+            check.claim: (1 if check.holds else 0) for check in checks
+        }
+
+    def test_workers_do_not_change_the_tally(self):
+        from repro.experiments import run_seed_sweep
+
+        base = _base_config(seed=0)
+        serial = run_seed_sweep([11, 12], base=base, max_queries=30)
+        parallel = run_seed_sweep([11, 12], base=base, max_queries=30, workers=3)
+        assert serial.claim_passes == parallel.claim_passes
+        assert serial.traffic_reductions == parallel.traffic_reductions

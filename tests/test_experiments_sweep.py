@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import aggregate_sweep, render_sweep_report
-from repro.experiments import SweepCell, SweepRunner, small_config
+from repro.experiments import GridSpec, SweepCell, SweepRunner, small_config
 
 
 def _runner(**overrides):
@@ -40,6 +40,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="unique"):
             _runner(seeds=(1, 1))
 
+    def test_duplicate_protocols_rejected_at_construction(self):
+        """Duplicates must fail in __init__ (where the CLI catches
+        them), not at run() time via the underlying GridSpec."""
+        with pytest.raises(ValueError, match="protocols must be unique"):
+            _runner(protocols=("flooding", "flooding"))
+
+    def test_duplicate_scenarios_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="scenarios must be unique"):
+            _runner(scenarios=("baseline", "baseline"))
+
     def test_bad_workers_and_queries_rejected(self):
         with pytest.raises(ValueError):
             _runner(workers=0)
@@ -51,6 +61,106 @@ class TestValidation:
     def test_default_bucket_width(self):
         assert _runner(max_queries=80).bucket_width == 10
         assert _runner(max_queries=4).bucket_width == 1
+
+
+class TestDegenerateGrids:
+    """Degenerate grid specs fail eagerly, naming the offending axis."""
+
+    def _grid(self, **overrides):
+        defaults = dict(
+            base_config=small_config(seed=1),
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline",),
+            seeds=(1, 2),
+            max_queries=10,
+        )
+        defaults.update(overrides)
+        return GridSpec(**defaults)
+
+    def test_empty_protocol_axis_named(self):
+        with pytest.raises(ValueError, match="protocol axis is empty"):
+            self._grid(protocols=())
+
+    def test_empty_scenario_axis_named(self):
+        with pytest.raises(ValueError, match="scenario axis is empty"):
+            self._grid(scenarios=())
+
+    def test_empty_seed_axis_named(self):
+        with pytest.raises(ValueError, match="seed axis is empty"):
+            self._grid(seeds=())
+
+    def test_empty_override_axis_named(self):
+        with pytest.raises(ValueError, match="config-override axis is empty"):
+            self._grid(config_overrides=())
+
+    def test_duplicate_protocols_named(self):
+        with pytest.raises(
+            ValueError, match="duplicate entries on the protocol axis"
+        ):
+            self._grid(protocols=("flooding", "flooding"))
+
+    def test_duplicate_scenarios_named(self):
+        with pytest.raises(
+            ValueError, match="duplicate entries on the scenario axis"
+        ):
+            self._grid(scenarios=("baseline", "baseline"))
+
+    def test_duplicate_scenario_specs_detected_through_params(self):
+        """Two spellings of the same parameterised scenario collide."""
+        with pytest.raises(
+            ValueError, match="duplicate entries on the scenario axis"
+        ):
+            self._grid(
+                scenarios=(
+                    "diurnal:amplitude=0.3",
+                    ("diurnal", {"amplitude": 0.3}),
+                )
+            )
+
+    def test_duplicate_seeds_named(self):
+        with pytest.raises(ValueError, match="duplicate entries on the seed axis"):
+            self._grid(seeds=(1, 1))
+
+    def test_duplicate_overrides_named(self):
+        with pytest.raises(
+            ValueError, match="duplicate entries on the config-override axis"
+        ):
+            self._grid(config_overrides=({"ttl": 5}, {"ttl": 5}))
+
+    def test_unknown_scenario_parameter_named(self):
+        with pytest.raises(
+            ValueError,
+            match="scenario axis.*'diurnal' does not accept parameter",
+        ):
+            self._grid(scenarios=("diurnal:wobble=2",))
+
+    def test_unknown_scenario_named(self):
+        with pytest.raises(ValueError, match="scenario axis.*unknown scenario"):
+            self._grid(scenarios=("meteor-strike",))
+
+    def test_unknown_protocol_named(self):
+        with pytest.raises(ValueError, match="unknown protocol.*protocol axis"):
+            self._grid(protocols=("gossip",))
+
+    def test_unknown_config_field_named(self):
+        with pytest.raises(
+            ValueError, match="unknown config field.*config-override axis"
+        ):
+            self._grid(config_overrides=({"ttlz": 5},))
+
+    def test_seed_forbidden_on_override_axis(self):
+        with pytest.raises(ValueError, match="may not set 'seed'"):
+            self._grid(config_overrides=({"seed": 9},))
+
+    def test_invalid_override_value_fails_eagerly(self):
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="ttl"):
+            self._grid(config_overrides=({"ttl": 0},))
+
+    def test_non_integer_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seeds must be integers"):
+            self._grid(seeds=(1, "two"))
 
 
 class TestGrid:

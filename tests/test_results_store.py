@@ -1,0 +1,177 @@
+"""Unit tests for the content-addressed result store and cell keys."""
+
+import json
+import os
+
+import pytest
+
+from repro.results import (
+    SCHEMA_VERSION,
+    ResultStore,
+    canonical_json,
+    cell_key,
+    cell_key_payload,
+    cell_label,
+    scenario_label,
+)
+
+KEY_A = "a" * 64
+KEY_B = "ab" + "0" * 62
+
+
+def _payload(**changes):
+    base = dict(
+        config={"num_peers": 60, "seed": 1},
+        protocol="locaware",
+        scenario_name="baseline",
+        scenario_params={},
+        max_queries=100,
+        bucket_width=25,
+        topology_fingerprint="f" * 64,
+    )
+    base.update(changes)
+    return cell_key_payload(**base)
+
+
+class TestKeys:
+    def test_key_is_hex_sha256(self):
+        key = cell_key(_payload())
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+    def test_key_is_deterministic_and_order_insensitive(self):
+        a = cell_key_payload(
+            config={"num_peers": 60, "seed": 1},
+            protocol="locaware",
+            scenario_name="baseline",
+            scenario_params={"b": 2, "a": 1},
+            max_queries=100,
+            bucket_width=25,
+        )
+        b = cell_key_payload(
+            config={"seed": 1, "num_peers": 60},
+            protocol="locaware",
+            scenario_name="baseline",
+            scenario_params={"a": 1, "b": 2},
+            max_queries=100,
+            bucket_width=25,
+        )
+        assert cell_key(a) == cell_key(b)
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"protocol": "flooding"},
+            {"scenario_name": "diurnal"},
+            {"scenario_params": {"amplitude": 0.3}},
+            {"config": {"num_peers": 60, "seed": 2}},
+            {"max_queries": 101},
+            {"bucket_width": 10},
+        ],
+    )
+    def test_any_identity_change_changes_the_key(self, changes):
+        assert cell_key(_payload()) != cell_key(_payload(**changes))
+
+    def test_schema_version_is_in_the_payload(self):
+        payload = _payload()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        bumped = dict(payload, schema_version=SCHEMA_VERSION + 1)
+        assert cell_key(payload) != cell_key(bumped)
+
+    def test_canonical_json_is_minimal_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_labels(self):
+        assert scenario_label("baseline", {}) == "baseline"
+        assert (
+            scenario_label("churn-storm", {"storm_time_s": 30.0})
+            == "churn-storm[storm_time_s=30.0]"
+        )
+        assert cell_label("baseline", {}, {"ttl": 5}) == "baseline @ ttl=5"
+        assert (
+            cell_label("diurnal", {"amplitude": 0.3}, {"ttl": 5, "bloom_bits": 600})
+            == "diurnal[amplitude=0.3] @ bloom_bits=600,ttl=5"
+        )
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        document = {"kind": "grid-cell", "value": [1, 2, 3]}
+        path = store.put(KEY_A, document)
+        assert path.is_file()
+        assert store.has(KEY_A)
+        assert KEY_A in store
+        assert store.get(KEY_A) == document
+
+    def test_layout_is_sharded_by_key_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_B, {})
+        assert store.path_for(KEY_B) == tmp_path / "ab" / f"{KEY_B}.json"
+        assert (tmp_path / "ab" / f"{KEY_B}.json").is_file()
+
+    def test_missing_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.has(KEY_A)
+        with pytest.raises(KeyError, match="no result stored"):
+            store.get(KEY_A)
+
+    def test_keys_sorted_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [KEY_A, KEY_B, "c" * 64]
+        for key in reversed(keys):
+            store.put(key, {"k": key})
+        assert list(store.keys()) == sorted(keys)
+        assert len(store) == 3
+
+    def test_empty_store_without_directory(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert list(store.keys()) == []
+        assert len(store) == 0
+        assert not store.has(KEY_A)
+
+    def test_delete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {})
+        assert store.delete(KEY_A) is True
+        assert not store.has(KEY_A)
+        assert store.delete(KEY_A) is False
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_A, {"v": 2})
+        assert store.get(KEY_A) == {"v": 2}
+        # No temp droppings left behind by the atomic-rename protocol.
+        leftovers = [p for p in (tmp_path / KEY_A[:2]).iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_stored_file_is_plain_indented_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"b": 1, "a": 2})
+        text = store.path_for(KEY_A).read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 2, "b": 1}
+        assert text.index('"a"') < text.index('"b"')  # sort_keys
+
+    @pytest.mark.parametrize("bad", ["", "short", "XYZ" * 22, "../../etc/passwd"])
+    def test_malformed_keys_rejected(self, tmp_path, bad):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            store.path_for(bad)
+
+    def test_stray_files_are_not_listed_as_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_B, {"v": 1})
+        (tmp_path / "ab" / "notes.json").write_text("{}")
+        (tmp_path / "ab" / f"{KEY_A}.json").write_text("{}")  # wrong shard
+        (tmp_path / "README.md").write_text("not a shard")
+        assert list(store.keys()) == [KEY_B]
+        assert len(store) == 1
+
+    def test_deleting_a_file_is_how_you_invalidate_one_cell(self, tmp_path):
+        """The resume contract: removing one JSON file re-runs one cell."""
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        os.unlink(store.path_for(KEY_A))
+        assert not store.has(KEY_A)

@@ -7,7 +7,6 @@ simulation's wall time).
 
 import random
 
-import pytest
 
 from repro.bloom import BloomFilter, CountingBloomFilter
 from repro.core import LocationAwareIndex

@@ -13,7 +13,6 @@ root so CI and future PRs can track the resume win over time.
 import json
 import time
 from pathlib import Path
-from tempfile import TemporaryDirectory
 
 from repro.experiments import GridRunner, GridSpec, small_config
 from repro.results import ResultStore

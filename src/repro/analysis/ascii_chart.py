@@ -12,7 +12,7 @@ buckets) are skipped.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["render_chart", "render_figure_chart"]
 

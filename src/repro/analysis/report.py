@@ -8,9 +8,9 @@ numbers can never drift from what the code measured.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Sequence
+from typing import Any, List, Sequence
 
-from .comparison import check_paper_claims, format_pct, relative_change
+from .comparison import check_paper_claims
 
 __all__ = ["markdown_table", "comparison_report", "claims_report"]
 

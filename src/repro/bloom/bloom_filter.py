@@ -16,7 +16,7 @@ reproducibility of routing decisions).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 __all__ = ["element_positions", "BloomFilter"]
 

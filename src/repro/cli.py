@@ -16,7 +16,11 @@ Subcommands:
   ``--out FILE``;
 - ``grid``     — parameterised experiment grids over a
   content-addressed result store: ``grid run`` executes (and resumes)
-  a protocol × scenario(+params) × config-override × seed grid,
+  a protocol × scenario(+params) × config-override × seed grid —
+  several ``grid run`` processes pointed at one store partition the
+  grid dynamically through lease claims (``--runner-id``,
+  ``--lease-ttl``) with zero duplicate executions; ``grid status``
+  shows stored/claimed/pending counts and the active claims;
   ``grid report`` aggregates a store from disk, ``grid ls`` lists the
   stored cells;
 - ``seed-sweep`` — claim robustness across several seeds;
@@ -35,6 +39,8 @@ Examples::
     repro-locaware grid run --store results --config small \\
         --scenarios baseline churn-storm:storm_session_s=120 \\
         --set ttl=5,7 --seeds 1 2 --queries 200 --workers 4
+    repro-locaware grid run --store shared --runner-id worker-2 &
+    repro-locaware grid status --store shared --config small --seeds 1 2
     repro-locaware grid report --store results
     repro-locaware grid ls --store results
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
@@ -199,51 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     grid_run = grid_sub.add_parser(
         "run",
-        help="execute a grid, skipping cells the store already holds",
+        help="execute a grid, skipping cells the store already holds; "
+        "several runs on one store partition the grid via lease claims",
     )
-    grid_run.add_argument(
-        "--store",
-        metavar="DIR",
-        default="results",
-        help="result-store directory (default: results)",
-    )
-    grid_run.add_argument(
-        "--spec",
-        metavar="FILE",
-        default=None,
-        help="JSON grid spec (GridSpec.to_dict format); overrides the "
-        "axis flags below",
-    )
-    grid_run.add_argument(
-        "--protocols", nargs="+", default=list(DEFAULT_PROTOCOL_ORDER),
-        metavar="NAME",
-    )
-    grid_run.add_argument(
-        "--scenarios",
-        nargs="+",
-        default=["baseline"],
-        metavar="NAME[:K=V,...]",
-        help="scenario axis; parameter overrides attach after a colon, "
-        "e.g. churn-storm:storm_session_s=120",
-    )
-    grid_run.add_argument(
-        "--set",
-        dest="overrides",
-        action="append",
-        default=[],
-        metavar="FIELD=V1[,V2,...]",
-        help="config-override axis: one axis per flag, cartesian "
-        "product across flags (e.g. --set ttl=5,7 --set bloom_bits=600)",
-    )
-    grid_run.add_argument("--seeds", type=int, nargs="+", default=[20090322])
-    grid_run.add_argument("--queries", type=int, default=200)
-    grid_run.add_argument("--bucket", type=int, default=None)
+    _add_grid_axis_options(grid_run)
     grid_run.add_argument("--workers", type=int, default=1)
     grid_run.add_argument("--reuse-builds", action="store_true")
     grid_run.add_argument(
-        "--config", choices=("paper", "small"), default="paper",
-        help="base configuration preset",
+        "--runner-id",
+        metavar="ID",
+        default=None,
+        help="identity stamped into this runner's claim files "
+        "(default: host-pid-nonce); letters, digits, '.', '_', '-'",
     )
+    grid_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="claim lease TTL: a runner silent this long is presumed "
+        "dead and its claims may be reclaimed (default: 300)",
+    )
+
+    grid_status = grid_sub.add_parser(
+        "status",
+        help="stored/claimed/pending counts for a grid against a store, "
+        "plus the active claims",
+    )
+    _add_grid_axis_options(grid_status)
 
     grid_report = grid_sub.add_parser(
         "report", help="aggregate a result store incrementally from disk"
@@ -267,6 +256,52 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queries", type=int, default=BENCH_MAX_QUERIES)
     parser.add_argument("--bucket", type=int, default=BENCH_BUCKET_WIDTH)
     parser.add_argument("--seed", type=int, default=20090322)
+
+
+def _add_grid_axis_options(parser: argparse.ArgumentParser) -> None:
+    """The store + grid-axis flags shared by ``grid run`` and ``grid
+    status`` (status must describe exactly the grid run executes)."""
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default="results",
+        help="result-store directory (default: results)",
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="JSON grid spec (GridSpec.to_dict format); overrides the "
+        "axis flags below",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=list(DEFAULT_PROTOCOL_ORDER),
+        metavar="NAME",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["baseline"],
+        metavar="NAME[:K=V,...]",
+        help="scenario axis; parameter overrides attach after a colon, "
+        "e.g. churn-storm:storm_session_s=120",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=V1[,V2,...]",
+        help="config-override axis: one axis per flag, cartesian "
+        "product across flags (e.g. --set ttl=5,7 --set bloom_bits=600)",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[20090322])
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--bucket", type=int, default=None)
+    parser.add_argument(
+        "--config", choices=("paper", "small"), default="paper",
+        help="base configuration preset",
+    )
 
 
 def _fresh_comparison(args: argparse.Namespace, out) -> object:
@@ -451,9 +486,12 @@ def _grid_spec_from_args(args: argparse.Namespace):
 def _cmd_grid_run(args: argparse.Namespace, out) -> int:
     from .analysis import render_sweep_report
     from .experiments import GridRunner
-    from .results import ResultStore
+    from .results import DEFAULT_LEASE_TTL_S, ResultStore
     from .sim.errors import ConfigurationError
 
+    lease_ttl = (
+        args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL_S
+    )
     try:
         spec = _grid_spec_from_args(args)
         runner = GridRunner(
@@ -461,10 +499,13 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
             workers=args.workers,
             reuse_builds=args.reuse_builds,
             store=ResultStore(args.store),
+            runner_id=args.runner_id,
+            lease_ttl_s=lease_ttl,
         )
     except (ValueError, ConfigurationError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
+    print(f"  runner: {runner.runner_id} (lease TTL {lease_ttl:g}s)", file=out)
     started = time.time()
     try:
         report = runner.run(
@@ -474,18 +515,118 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
         )
     except (ValueError, KeyError, OSError) as error:
         # Run-time store failures — --store pointing at a regular
-        # file, a full disk, a corrupt cached document being resumed
-        # over — are operator errors, not tracebacks.
+        # file, a full disk — are operator errors, not tracebacks.
         print(f"error: {error}", file=out)
         return 2
+    quarantined = (
+        f" quarantined={report.quarantined}" if report.quarantined else ""
+    )
     print(
         f"  cells: total={report.num_cells} executed={report.executed} "
-        f"cached={report.cached} in {time.time() - started:.1f}s",
+        f"cached={report.cached}{quarantined} in {time.time() - started:.1f}s",
         file=out,
     )
     print(f"  store: {args.store}\n", file=out)
     print(render_sweep_report(report), file=out)
     return 0
+
+
+def _cmd_grid_status(args: argparse.Namespace, out) -> int:
+    """Stored/claimed/pending counts for one grid, plus claim health."""
+    from .results import ClaimStore, ResultStore
+    from .sim.errors import ConfigurationError
+
+    try:
+        spec = _grid_spec_from_args(args)
+    except (ValueError, ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    store = ResultStore(args.store)
+    claims = ClaimStore(store.root)
+    keys = {spec.cell_key(cell) for cell in spec.expand()}
+    stored = sum(1 for key in keys if store.has(key))
+    # A cell both stored and claimed (crash between commit and
+    # release) counts as stored — the claim is a prunable orphan, not
+    # outstanding work — so pending can never go negative.
+    claimed = {
+        claim.key: claim
+        for claim in claims.claims()
+        if claim.key in keys and not store.has(claim.key)
+    }
+    pending = len(keys) - stored - len(claimed)
+    print(
+        f"store {args.store}: {len(store)} cell(s) stored, "
+        f"{sum(1 for _ in claims.claims())} active claim(s)",
+        file=out,
+    )
+    print(
+        f"grid: total={len(keys)} stored={stored} claimed={len(claimed)} "
+        f"pending={pending}",
+        file=out,
+    )
+    if claimed:
+        now = time.time()
+        print("claims:", file=out)
+        for key in sorted(claimed):
+            claim = claimed[key]
+            state = "stale" if claim.is_stale(now) else "live"
+            print(
+                f"  {key[:12]}  {claim.runner_id}  "
+                f"age {claim.age_s(now):6.1f}s  "
+                f"heartbeat {claim.silence_s(now):5.1f}s ago  {state}",
+                file=out,
+            )
+    return 0
+
+
+def _iter_store_cells(store, extract, out):
+    """Stream ``(key, extract(document))`` pairs, tolerating damage.
+
+    Corrupt documents — whether they fail to *parse* (the store
+    quarantines those itself) or parse but fail ``extract`` (valid
+    JSON of the wrong shape, which is quarantined here) — are skipped
+    with a note; cells mid-commit by another runner simply do not
+    appear yet (atomic put means a document is either whole or
+    absent).  Yields nothing for a missing store directory.
+    """
+    from .results import CorruptResultError
+
+    for key in store.keys():
+        try:
+            document = store.get(key)
+        except CorruptResultError as error:
+            print(f"  note: skipped corrupt cell: {error}", file=out)
+            continue
+        except KeyError:
+            # Deleted (or quarantined) between listing and reading.
+            continue
+        try:
+            yield key, extract(document)
+        except (ValueError, KeyError, TypeError):
+            store.quarantine(key)
+            print(
+                f"  note: skipped corrupt cell: malformed grid-cell "
+                f"document for key {key[:12]}…; quarantined",
+                file=out,
+            )
+
+
+def _in_flight_note(store, out) -> None:
+    """One line about claims other runners currently hold, if any."""
+    from .results import ClaimStore
+
+    in_flight = sum(1 for _ in ClaimStore(store.root).claims())
+    if in_flight:
+        print(
+            f"  note: {in_flight} cell(s) in flight (claimed by active "
+            "runners); re-run once they commit",
+            file=out,
+        )
+
+
+def _no_cells_message(store, args, out) -> None:
+    suffix = "" if store.root.is_dir() else " (store directory does not exist)"
+    print(f"no cells stored under {args.store}{suffix}", file=out)
 
 
 def _cmd_grid_report(args: argparse.Namespace, out) -> int:
@@ -496,18 +637,26 @@ def _cmd_grid_report(args: argparse.Namespace, out) -> int:
     store = ResultStore(args.store)
     aggregator = SweepAggregator()
     cells = 0
+
+    def extract(document):
+        return (
+            document["cell"]["label"],
+            document["cell"]["protocol"],
+            load_grid_cell_document(document),
+        )
+
     try:
-        for key in store.keys():
-            document = store.get(key)
-            run = load_grid_cell_document(document)
-            cell = document["cell"]
-            aggregator.add(cell["label"], cell["protocol"], run)
+        for _key, (label, protocol, run) in _iter_store_cells(
+            store, extract, out
+        ):
+            aggregator.add(label, protocol, run)
             cells += 1
-    except (ValueError, KeyError, OSError) as error:
+    except OSError as error:
         print(f"error: unreadable store document: {error}", file=out)
         return 2
+    _in_flight_note(store, out)
     if not cells:
-        print(f"no cells stored under {args.store}", file=out)
+        _no_cells_message(store, args, out)
         return 1
     print(
         render_sweep_rows(
@@ -526,24 +675,24 @@ def _cmd_grid_ls(args: argparse.Namespace, out) -> int:
 
     store = ResultStore(args.store)
     rows = []
+
+    def extract(document):
+        cell = document["cell"]
+        return [
+            cell["label"],
+            cell["protocol"],
+            cell["seed"],
+            document["max_queries"],
+        ]
+
     try:
-        for key in store.keys():
-            document = store.get(key)
-            cell = document["cell"]
-            rows.append(
-                [
-                    key[:12],
-                    cell["label"],
-                    cell["protocol"],
-                    cell["seed"],
-                    document["max_queries"],
-                ]
-            )
-    except (ValueError, KeyError, OSError) as error:
+        for key, fields in _iter_store_cells(store, extract, out):
+            rows.append([key[:12], *fields])
+    except OSError as error:
         print(f"error: unreadable store document: {error}", file=out)
         return 2
     if not rows:
-        print(f"no cells stored under {args.store}", file=out)
+        _no_cells_message(store, args, out)
         return 1
     rows.sort(key=lambda row: (row[1], row[2], row[3]))
     print(
@@ -560,6 +709,7 @@ def _cmd_grid_ls(args: argparse.Namespace, out) -> int:
 def _cmd_grid(args: argparse.Namespace, out) -> int:
     return {
         "run": _cmd_grid_run,
+        "status": _cmd_grid_status,
         "report": _cmd_grid_report,
         "ls": _cmd_grid_ls,
     }[args.grid_command](args, out)

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..bloom.bloom_filter import BloomFilter
 from ..bloom.counting import CountingBloomFilter
-from ..bloom.delta import BloomDelta, DeltaCodec
+from ..bloom.delta import DeltaCodec
 from ..overlay.messages import BloomUpdate
 from ..overlay.network import P2PNetwork
 from ..overlay.peer import Peer

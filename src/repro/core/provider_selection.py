@@ -15,7 +15,7 @@ requestor prefers a provider inside its own locality:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..overlay.messages import ProviderEntry, QueryResponse
 from ..overlay.network import P2PNetwork

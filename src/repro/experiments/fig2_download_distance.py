@@ -13,7 +13,7 @@ prints; :func:`render` formats it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..analysis.collectors import MetricSeries
 from ..analysis.tables import format_series_table

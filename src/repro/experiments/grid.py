@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import math
 import multiprocessing
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -56,7 +57,15 @@ from typing import (
 
 from ..analysis.persistence import grid_cell_to_document, load_grid_cell_document
 from ..overlay.blueprint import NetworkBlueprint
-from ..results import ResultStore, cell_key, cell_key_payload, cell_label
+from ..results import (
+    DEFAULT_LEASE_TTL_S,
+    ClaimStore,
+    CorruptResultError,
+    ResultStore,
+    cell_key,
+    cell_key_payload,
+    cell_label,
+)
 from ..scenarios import make_scenario
 from ..sim.config import SimulationConfig
 from .runner import DEFAULT_PROTOCOL_ORDER, PROTOCOL_REGISTRY, run_protocol
@@ -419,6 +428,9 @@ class GridReport:
     runs: Dict[GridCell, Any] = field(default_factory=dict)
     executed: int = 0
     cached: int = 0
+    #: Stored documents that failed to parse, were quarantined by the
+    #: store, and re-executed (crash/corruption recovery accounting).
+    quarantined: int = 0
 
     @property
     def base_config(self) -> SimulationConfig:
@@ -541,6 +553,8 @@ def execute_cells(
     workers: int = 1,
     reuse_builds: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    progress_offset: int = 0,
+    progress_total: Optional[int] = None,
 ) -> Iterator[Tuple[GridCell, Any]]:
     """Execute ``cells`` and yield ``(cell, run)`` in completion order.
 
@@ -552,6 +566,11 @@ def execute_cells(
     same-topology cells are made contiguous and dispatched chunk-wise
     so each chunk hits a worker's blueprint cache after one build;
     results are byte-identical either way.
+
+    ``progress_offset`` / ``progress_total`` re-anchor the ``[done/
+    total]`` progress prefix when these cells are one batch of a larger
+    grid (the claim-aware store loop executes a few cells at a time
+    but should still report grid-wide progress).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -564,10 +583,10 @@ def execute_cells(
         (cell, spec.base_config, spec.max_queries, spec.bucket_width, reuse_builds)
         for cell in cells
     ]
-    total = len(tasks)
-    workers = min(workers, total) if total else 1
+    total = progress_total if progress_total is not None else len(tasks)
+    workers = min(workers, len(tasks)) if tasks else 1
     if workers == 1:
-        for done, task in enumerate(tasks, start=1):
+        for done, task in enumerate(tasks, start=1 + progress_offset):
             cell, run = _run_cell(task)
             _note(progress, done, total, cell)
             yield cell, run
@@ -583,7 +602,8 @@ def execute_cells(
         chunksize = len(spec.protocols) if reuse_builds else 1
         with context.Pool(processes=workers) as pool:
             for done, (cell, run) in enumerate(
-                pool.imap(_run_cell, tasks, chunksize=chunksize), start=1
+                pool.imap(_run_cell, tasks, chunksize=chunksize),
+                start=1 + progress_offset,
             ):
                 _note(progress, done, total, cell)
                 yield cell, run
@@ -607,6 +627,26 @@ class GridRunner:
         aggregate byte-identical to an uninterrupted one, **all** runs
         in the report (fresh and cached alike) are normalised through
         the document round-trip when a store is attached.
+
+        With a store, every execution is guarded by a lease claim
+        (:class:`~repro.results.claims.ClaimStore`), so N runner
+        processes pointed at the same store and spec partition the
+        grid dynamically with zero duplicate executions: each pending
+        cell is **skip** (already stored) → **claim** (exclusive
+        create) → **execute** → **commit** (atomic put) → **release**.
+        Cells claimed by another live runner are revisited until that
+        runner commits them (they land in this report as cached) or
+        its lease goes stale (reclaimed and executed here — crash
+        recovery of orphaned claims).
+    runner_id:
+        This runner's identity in claim files (default: host-pid-nonce).
+    lease_ttl_s:
+        How long this runner's claims stay valid without a heartbeat.
+    poll_interval_s:
+        Sleep between passes while every remaining cell is claimed by
+        other live runners.
+    clock:
+        Time source for claims (injectable for lease tests).
     """
 
     def __init__(
@@ -615,13 +655,37 @@ class GridRunner:
         workers: int = 1,
         reuse_builds: bool = False,
         store: Optional[ResultStore] = None,
+        runner_id: Optional[str] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_interval_s: float = 0.5,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if poll_interval_s < 0:
+            raise ValueError(
+                f"poll_interval_s must be >= 0, got {poll_interval_s}"
+            )
         self.spec = spec
         self.workers = workers
         self.reuse_builds = reuse_builds
         self.store = store
+        self.poll_interval_s = poll_interval_s
+        self.claims: Optional[ClaimStore] = (
+            ClaimStore(
+                store.root,
+                runner_id=runner_id,
+                lease_ttl_s=lease_ttl_s,
+                clock=clock,
+            )
+            if store is not None
+            else None
+        )
+
+    @property
+    def runner_id(self) -> Optional[str]:
+        """This runner's claim identity (None when storeless)."""
+        return self.claims.runner_id if self.claims is not None else None
 
     def run(
         self, progress: Optional[Callable[[str], None]] = None
@@ -629,41 +693,222 @@ class GridRunner:
         """Execute every missing cell and assemble the full report."""
         cells = self.spec.expand()
         report = GridReport(spec=self.spec)
-        pending: List[GridCell] = []
-        payloads: Dict[GridCell, Dict[str, Any]] = {}
-        for cell in cells:
-            if self.store is None:
-                pending.append(cell)
-                continue
-            payload = self.spec.cell_key_payload(cell)
-            payloads[cell] = payload
-            key = cell_key(payload)
-            if self.store.has(key):
-                report.runs[cell] = load_grid_cell_document(self.store.get(key))
-                report.cached += 1
-            else:
-                pending.append(cell)
-        for cell, run in execute_cells(
-            self.spec,
-            pending,
-            workers=self.workers,
-            reuse_builds=self.reuse_builds,
-            progress=progress,
-        ):
-            report.executed += 1
-            if self.store is None:
+        if self.store is None:
+            for cell, run in execute_cells(
+                self.spec,
+                cells,
+                workers=self.workers,
+                reuse_builds=self.reuse_builds,
+                progress=progress,
+            ):
+                report.executed += 1
                 report.runs[cell] = run
-                continue
-            payload = payloads[cell]
-            key = cell_key(payload)
-            document = grid_cell_to_document(
-                cell,
-                run,
-                key=key,
-                max_queries=self.spec.max_queries,
-                bucket_width=self.spec.bucket_width,
-                topology_fingerprint=payload["topology_fingerprint"],
+            return report
+        return self._run_with_store(cells, report, progress)
+
+    # -- the claim-aware store path ------------------------------------
+
+    def _run_with_store(
+        self,
+        cells: List[GridCell],
+        report: GridReport,
+        progress: Optional[Callable[[str], None]],
+    ) -> GridReport:
+        """The skip → claim → execute → commit → release loop.
+
+        Each pass walks the still-unresolved cells: stored ones are
+        loaded, unclaimed ones are claimed (at most one execution
+        batch per pass, so N runners interleave instead of one runner
+        pre-claiming the world), and foreign-claimed ones are carried
+        to the next pass.  A pass that resolves nothing means every
+        remaining cell is claimed by another live runner — sleep
+        briefly and look again; their commits arrive as cache hits,
+        their crashes as stale leases this runner reclaims.
+        """
+        assert self.claims is not None
+        self.store.clean_tmp()
+        self.claims.prune(self.store.has)
+        payloads = {cell: self.spec.cell_key_payload(cell) for cell in cells}
+        keys = {cell: cell_key(payload) for cell, payload in payloads.items()}
+        batch_size = self._claim_batch_size()
+        pending = list(cells)
+        while pending:
+            resolved = 0
+            claimed: List[GridCell] = []
+            deferred: List[GridCell] = []
+            try:
+                for index, cell in enumerate(pending):
+                    if len(claimed) >= batch_size:
+                        deferred.extend(pending[index:])
+                        break
+                    if self._load_stored(cell, keys[cell], report, progress):
+                        resolved += 1
+                    elif self.claims.try_claim(keys[cell]):
+                        # Double-check under the claim: another runner
+                        # may have committed (and released) this cell
+                        # between our store check and the claim.
+                        # Holding the claim, a stored document is
+                        # final — take the cache hit instead of
+                        # executing twice.
+                        if self._load_stored(
+                            cell, keys[cell], report, progress
+                        ):
+                            self.claims.release(keys[cell])
+                            resolved += 1
+                        else:
+                            claimed.append(cell)
+                    else:
+                        deferred.append(cell)
+            except BaseException:
+                # Dying between claiming and executing (disk error,
+                # KeyboardInterrupt) must not strand the claims until
+                # their lease times out on other runners.
+                for cell in claimed:
+                    self.claims.release(keys[cell])
+                raise
+            resolved += self._execute_claimed(
+                claimed, payloads, keys, report, progress
             )
-            self.store.put(key, document)
-            report.runs[cell] = load_grid_cell_document(document)
+            pending = deferred
+            if pending and not resolved:
+                if progress is not None:
+                    progress(
+                        f"waiting: {len(pending)} cell(s) claimed by "
+                        "other runners"
+                    )
+                time.sleep(self.poll_interval_s)
         return report
+
+    def _claim_batch_size(self) -> int:
+        """How many cells to claim per pass.
+
+        Small batches = fine-grained dynamic partitioning between
+        runners; large batches = better pool utilisation within one
+        runner (each batch forks a fresh worker pool, and with
+        ``reuse_builds`` tasks are dispatched in protocol-sized chunks
+        that must not out-count the tasks).  Serial runners claim one
+        cell at a time — maximally fair; parallel runners claim a few
+        chunks per worker so no pool worker sits idle.
+        """
+        if self.workers == 1:
+            return 1
+        chunk = len(self.spec.protocols) if self.reuse_builds else 2
+        return self.workers * chunk
+
+    def _load_stored(
+        self,
+        cell: GridCell,
+        key: str,
+        report: GridReport,
+        progress: Optional[Callable[[str], None]],
+    ) -> bool:
+        """Load ``cell`` from the store if present; True on success.
+
+        A corrupt document counts as absent: the store quarantines it,
+        the incident is reported, and the caller claims the cell for
+        re-execution.
+        """
+        if not self.store.has(key):
+            return False
+        try:
+            document = self.store.get(key)
+            run = load_grid_cell_document(document)
+        except CorruptResultError as error:
+            report.quarantined += 1
+            if progress is not None:
+                progress(f"quarantined: {error}")
+            return False
+        except KeyError:
+            # Vanished between has() and get(): a concurrent reader
+            # quarantined it, or an operator deleted the cell.  But a
+            # KeyError out of the document restore means a valid-JSON
+            # object of the wrong shape — quarantine that like any
+            # other corruption.
+            if not self.store.has(key):
+                return False
+            return self._quarantine_malformed(key, report, progress)
+        except (ValueError, TypeError):
+            # Parsed as JSON but not as a grid-cell document (wrong
+            # kind, alien format version, mangled fields): same
+            # recovery as byte-level corruption — rename it aside and
+            # re-execute the cell.
+            return self._quarantine_malformed(key, report, progress)
+        report.runs[cell] = run
+        report.cached += 1
+        return True
+
+    def _quarantine_malformed(
+        self,
+        key: str,
+        report: GridReport,
+        progress: Optional[Callable[[str], None]],
+    ) -> bool:
+        """Quarantine a document that parsed but failed to restore."""
+        quarantined_to = self.store.quarantine(key)
+        report.quarantined += 1
+        if progress is not None:
+            where = (
+                quarantined_to.name
+                if quarantined_to is not None
+                else "already removed"
+            )
+            progress(
+                f"quarantined: malformed grid-cell document for key "
+                f"{key[:12]}…; {where}"
+            )
+        return False
+
+    def _execute_claimed(
+        self,
+        claimed: List[GridCell],
+        payloads: Dict[GridCell, Dict[str, Any]],
+        keys: Dict[GridCell, str],
+        report: GridReport,
+        progress: Optional[Callable[[str], None]],
+    ) -> int:
+        """Execute the cells this runner holds claims on, commit each.
+
+        Commit order per cell: atomic ``put`` first, release second —
+        a crash in between leaves a stored cell plus an orphaned claim,
+        which the next runner's :meth:`ClaimStore.prune` clears.  The
+        claims of still-running batch mates are heartbeat on every
+        completion, so a long batch cannot go stale mid-flight.
+        """
+        held = {keys[cell] for cell in claimed}
+        done = 0
+        try:
+            for cell, run in execute_cells(
+                self.spec,
+                claimed,
+                workers=self.workers,
+                reuse_builds=self.reuse_builds,
+                progress=progress,
+                progress_offset=report.executed + report.cached,
+                progress_total=self.spec.num_cells,
+            ):
+                key = keys[cell]
+                document = grid_cell_to_document(
+                    cell,
+                    run,
+                    key=key,
+                    max_queries=self.spec.max_queries,
+                    bucket_width=self.spec.bucket_width,
+                    topology_fingerprint=payloads[cell][
+                        "topology_fingerprint"
+                    ],
+                )
+                self.store.put(key, document)
+                self.claims.release(key)
+                held.discard(key)
+                for other in held:
+                    self.claims.heartbeat(other)
+                report.runs[cell] = load_grid_cell_document(document)
+                report.executed += 1
+                done += 1
+        finally:
+            # Interrupted mid-batch (exception, KeyboardInterrupt):
+            # drop the claims we still hold so a surviving runner can
+            # take the cells immediately instead of after a stale TTL.
+            for key in held:
+                self.claims.release(key)
+        return done

@@ -12,7 +12,7 @@ tokenisation is trivially invertible.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["KeywordPool", "tokenize_filename", "join_keywords", "canonical_form"]
 

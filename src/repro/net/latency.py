@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .coordinates import UNIT_SQUARE_DIAMETER, Point
 

@@ -18,9 +18,8 @@ state does not.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-from ..sim.engine import Simulator
 from .network import P2PNetwork
 
 __all__ = ["ChurnProcess"]

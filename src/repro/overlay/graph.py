@@ -17,7 +17,7 @@ maintains degree bookkeeping so protocols can ask for the
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 __all__ = ["OverlayGraph"]
 

@@ -13,7 +13,7 @@ own namespace attribute.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict
 
 from ..files.storage import FileStore
 

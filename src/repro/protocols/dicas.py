@@ -19,8 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..overlay.messages import ProviderEntry, Query, QueryResponse
-from ..overlay.network import P2PNetwork
+from ..overlay.messages import Query, QueryResponse
 from ..overlay.peer import Peer
 from .base import SearchProtocol
 from .groups import file_group, query_group_guess

@@ -16,7 +16,7 @@ keyword queries".
 from __future__ import annotations
 
 import hashlib
-from typing import FrozenSet, Iterable, Set
+from typing import Iterable, Set
 
 from ..files.keywords import canonical_form
 

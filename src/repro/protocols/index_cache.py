@@ -14,7 +14,7 @@ common implementation).  Lookup matches any cached filename containing
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..files.keywords import tokenize_filename
 from ..overlay.messages import ProviderEntry

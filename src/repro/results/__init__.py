@@ -10,6 +10,7 @@ This package is a leaf: it imports only the standard library, so both
 the experiments and the analysis layers can build on it.
 """
 
+from .claims import DEFAULT_LEASE_TTL_S, Claim, ClaimStore, default_runner_id
 from .keys import (
     SCHEMA_VERSION,
     canonical_json,
@@ -18,7 +19,7 @@ from .keys import (
     cell_label,
     scenario_label,
 )
-from .store import ResultStore
+from .store import CorruptResultError, ResultStore
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -27,5 +28,10 @@ __all__ = [
     "cell_key_payload",
     "cell_label",
     "scenario_label",
+    "Claim",
+    "ClaimStore",
+    "CorruptResultError",
+    "DEFAULT_LEASE_TTL_S",
     "ResultStore",
+    "default_runner_id",
 ]

@@ -17,16 +17,60 @@ a resumed run would mistake for a completed cell — a half-written cell
 simply does not exist.  Documents are plain JSON, diffable, and safe
 to delete individually: removing a file re-runs exactly that cell on
 the next invocation.
+
+The store is defensive about damage it did not cause.  A document that
+no longer parses (disk corruption, a partial copy, a stray editor) is
+*quarantined* — renamed to ``<key>.json.corrupt`` where no listing
+sees it — and reported via :class:`CorruptResultError` instead of
+aborting whoever was reading; the cell simply re-runs.
+:meth:`clean_tmp` sweeps temp files orphaned by writers that died
+mid-``put``.  Concurrent runners coordinate through the claim files
+in :mod:`repro.results.claims`, which live under ``<root>/claims``
+and are invisible to every reader here.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, Union
+from typing import Any, Callable, Dict, Iterator, Union
 
-__all__ = ["ResultStore"]
+__all__ = ["CorruptResultError", "ResultStore", "check_key", "is_cell_key"]
+
+
+def is_cell_key(name: str) -> bool:
+    """Whether ``name`` is a full content-addressed cell key (64 hex)."""
+    return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
+
+
+def check_key(key: str) -> None:
+    """Reject strings that are not plausible content-addressed keys."""
+    if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+        raise ValueError(f"malformed result-store key: {key!r}")
+
+
+class CorruptResultError(RuntimeError):
+    """A stored document failed to parse and has been quarantined.
+
+    The offending file is renamed out of the store's namespace before
+    this is raised, so retrying the read reports the cell as absent —
+    callers recover by re-executing the cell, not by crashing.
+    """
+
+    def __init__(self, key: str, quarantined_to: Union[Path, None], reason: str):
+        self.key = key
+        self.quarantined_to = quarantined_to
+        self.reason = reason
+        where = (
+            f"quarantined to {quarantined_to.name}"
+            if quarantined_to is not None
+            else "already removed"
+        )
+        super().__init__(
+            f"corrupt result document for key {key[:12]}… ({reason}); {where}"
+        )
 
 
 class ResultStore:
@@ -45,13 +89,69 @@ class ResultStore:
         return self.path_for(key).is_file()
 
     def get(self, key: str) -> Dict[str, Any]:
-        """Load the document stored under ``key`` (KeyError if absent)."""
+        """Load the document stored under ``key``.
+
+        Raises :class:`KeyError` if absent.  A document that exists
+        but does not parse as a JSON object is quarantined (renamed to
+        ``<key>.json.corrupt``) and reported as
+        :class:`CorruptResultError` — the store heals itself instead
+        of failing every future read the same way.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                document = json.load(handle)
         except FileNotFoundError:
             raise KeyError(f"no result stored under key {key!r}") from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CorruptResultError(
+                key, self.quarantine(key), str(error)
+            ) from None
+        if not isinstance(document, dict):
+            raise CorruptResultError(
+                key,
+                self.quarantine(key),
+                f"expected a JSON object, got {type(document).__name__}",
+            )
+        return document
+
+    def quarantine(self, key: str) -> Union[Path, None]:
+        """Rename the document under ``key`` out of the store's namespace.
+
+        Returns the quarantine path (``<key>.json.corrupt``, which no
+        listing matches), or None if the file vanished first — e.g. a
+        concurrent reader quarantined it already.
+        """
+        path = self.path_for(key)
+        destination = path.with_name(f"{key}.json.corrupt")
+        try:
+            os.replace(path, destination)
+        except FileNotFoundError:
+            return None
+        return destination
+
+    def clean_tmp(
+        self,
+        max_age_s: float = 3600.0,
+        clock: Callable[[], float] = time.time,
+    ) -> int:
+        """Remove temp files orphaned by writers that died mid-``put``.
+
+        Only files older than ``max_age_s`` go (a live writer's temp
+        file is seconds old at most); returns how many were removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = clock() - max_age_s
+        removed = 0
+        for path in self.root.glob("??/.*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
 
     def put(self, key: str, document: Dict[str, Any]) -> Path:
         """Atomically persist ``document`` under ``key``.
@@ -89,11 +189,7 @@ class ResultStore:
             return
         for path in sorted(self.root.glob("??/*.json")):
             key = path.stem
-            if (
-                len(key) == 64
-                and all(c in "0123456789abcdef" for c in key)
-                and key[:2] == path.parent.name
-            ):
+            if is_cell_key(key) and key[:2] == path.parent.name:
                 yield key
 
     def __len__(self) -> int:
@@ -104,5 +200,4 @@ class ResultStore:
 
     @staticmethod
     def _check_key(key: str) -> None:
-        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
-            raise ValueError(f"malformed result-store key: {key!r}")
+        check_key(key)

@@ -22,9 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.config import SimulationConfig
-from ..workload.generator import QueryWorkload
 from .base import (
-    IssueFn,
     Scenario,
     ScenarioContext,
     expected_horizon_s,

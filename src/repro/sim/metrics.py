@@ -10,8 +10,8 @@ per-bucket means (e.g. mean download distance for queries 1–200,
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 __all__ = ["Counter", "Summary", "BucketedSeries", "MetricRegistry"]
 

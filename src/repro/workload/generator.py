@@ -16,11 +16,9 @@ Locaware, which is what makes the paper's head-to-head comparison fair.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from ..files.catalog import FileCatalog
 from ..overlay.network import P2PNetwork
 from .zipf import ZipfSampler
 

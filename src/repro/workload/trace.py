@@ -15,7 +15,6 @@ Traces serialise to a simple line-oriented text format:
 
 from __future__ import annotations
 
-import io
 from typing import Callable, Iterable, List, Sequence, TextIO, Tuple
 
 from ..overlay.network import P2PNetwork

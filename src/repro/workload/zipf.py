@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 __all__ = ["ZipfSampler"]
 

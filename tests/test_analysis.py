@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    ClaimCheck,
     check_paper_claims,
     collect_series,
     format_percent,

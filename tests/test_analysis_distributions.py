@@ -8,7 +8,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis import (
-    DistanceDistribution,
     cdf_points,
     distance_distribution,
     percentile,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bloom import BloomDelta, BloomFilter, DeltaCodec, apply_delta, diff
+from repro.bloom import BloomFilter, DeltaCodec, apply_delta, diff
 
 
 def _filters(*element_sets):

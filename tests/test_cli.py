@@ -330,17 +330,43 @@ class TestGridCommand:
         assert code == 2
         assert "error:" in text
 
-    def test_corrupt_store_document_is_a_clean_error(self, tmp_path):
+    def test_corrupt_store_document_is_quarantined_not_fatal(self, tmp_path):
+        """A corrupt cell no longer aborts report/ls: it is renamed out
+        of the store (quarantined), noted, and the rest still renders."""
         store = tmp_path / "store"
+        corrupt_key = "ab" + "0" * 62
         shard = store / "ab"
         shard.mkdir(parents=True)
-        (shard / ("ab" + "0" * 62 + ".json")).write_text("{not json")
+        (shard / f"{corrupt_key}.json").write_text("{not json")
+        code, text = run_cli("grid", "report", "--store", str(store))
+        assert code == 1  # nothing valid left to aggregate
+        assert "skipped corrupt cell" in text
+        assert "no cells stored" in text
+        # The bad document was renamed where no listing sees it.
+        assert not (shard / f"{corrupt_key}.json").exists()
+        assert (shard / f"{corrupt_key}.json.corrupt").is_file()
+        # ls on a store with one good + one corrupt cell still lists
+        # the good one (quarantine already happened above, so re-plant).
+        (shard / f"{corrupt_key}.json").write_text("[1, 2]")
+        self._run_grid(store)
+        code, text = run_cli("grid", "ls", "--store", str(store))
+        assert code == 0
+        assert "skipped corrupt cell" in text
+        assert "8 cells" in text
+        # A document that parses but has the wrong shape (schema
+        # drift) is likewise skipped and quarantined, not fatal.
+        (shard / f"{corrupt_key}.json").write_text('{"kind": "grid-cell"}')
         for sub in ("report", "ls"):
             code, text = run_cli("grid", sub, "--store", str(store))
-            assert code == 2
-            assert "unreadable store document" in text
+            assert code == 0, text
+            assert "skipped corrupt cell" in text
+            (shard / f"{corrupt_key}.json.corrupt").rename(
+                shard / f"{corrupt_key}.json"
+            )  # re-plant for the next subcommand
 
-    def test_resuming_over_a_corrupt_document_is_a_clean_error(self, tmp_path):
+    def test_resuming_over_a_corrupt_document_quarantines_and_reruns(
+        self, tmp_path
+    ):
         from repro.results import ResultStore
 
         store = tmp_path / "store"
@@ -356,10 +382,126 @@ class TestGridCommand:
         code, _text = run_cli(*args)
         assert code == 0
         key = next(ResultStore(store).keys())
-        ResultStore(store).path_for(key).write_text("{not json")
+        path = ResultStore(store).path_for(key)
+        path.write_text("{not json")
         code, text = run_cli(*args)
+        assert code == 0
+        assert "quarantined" in text
+        assert "executed=1 cached=0 quarantined=1" in text
+        # The corrupt file was renamed aside and the cell re-committed.
+        assert path.with_name(f"{key}.json.corrupt").is_file()
+        assert ResultStore(store).has(key)
+
+    def test_grid_run_reports_runner_identity(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run",
+            "--store", str(tmp_path / "store"),
+            "--config", "small",
+            "--protocols", "flooding",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "5",
+            "--runner-id", "test-runner-1",
+            "--lease-ttl", "120",
+        )
+        assert code == 0
+        assert "runner: test-runner-1 (lease TTL 120s)" in text
+
+    def test_bad_runner_id_is_a_clean_error(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run",
+            "--store", str(tmp_path / "store"),
+            "--queries", "5",
+            "--runner-id", "no spaces allowed",
+        )
         assert code == 2
-        assert "error:" in text
+        assert "runner id" in text
+
+
+class TestGridStatusCommand:
+    def _axes(self, store):
+        return (
+            "--store", str(store),
+            "--config", "small",
+            "--protocols", "flooding", "locaware",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "5",
+        )
+
+    def test_status_of_empty_store(self, tmp_path):
+        code, text = run_cli(
+            "grid", "status", *self._axes(tmp_path / "none")
+        )
+        assert code == 0
+        assert "0 cell(s) stored" in text
+        assert "total=2 stored=0 claimed=0 pending=2" in text
+
+    def test_status_after_a_run(self, tmp_path):
+        store = tmp_path / "store"
+        run_cli("grid", "run", *self._axes(store))
+        code, text = run_cli("grid", "status", *self._axes(store))
+        assert code == 0
+        assert "2 cell(s) stored" in text
+        assert "total=2 stored=2 claimed=0 pending=0" in text
+
+    def test_status_shows_live_and_stale_claims(self, tmp_path):
+        from repro.experiments import GridSpec, small_config
+        from repro.results import ClaimStore, ResultStore
+
+        store_dir = tmp_path / "store"
+        spec = GridSpec(
+            base_config=small_config(),
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline",),
+            seeds=(1,),
+            max_queries=5,
+        )
+        keys = [spec.cell_key(cell) for cell in spec.expand()]
+        live = ClaimStore(ResultStore(store_dir).root, runner_id="alive")
+        stale = ClaimStore(
+            ResultStore(store_dir).root, runner_id="dead", lease_ttl_s=0.0
+        )
+        assert live.try_claim(keys[0])
+        assert stale.try_claim(keys[1])
+        code, text = run_cli("grid", "status", *self._axes(store_dir))
+        assert code == 0
+        assert "total=2 stored=0 claimed=2 pending=0" in text
+        assert "alive" in text and "live" in text
+        assert "dead" in text and "stale" in text
+
+    def test_status_orphan_claim_on_stored_cell_is_not_pending(
+        self, tmp_path
+    ):
+        """Crash between commit and release leaves a cell both stored
+        and claimed; status must count it as stored, never as negative
+        pending."""
+        from repro.experiments import GridSpec, small_config
+        from repro.results import ClaimStore, ResultStore
+
+        store_dir = tmp_path / "store"
+        run_cli("grid", "run", *self._axes(store_dir))
+        spec = GridSpec(
+            base_config=small_config(),
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline",),
+            seeds=(1,),
+            max_queries=5,
+        )
+        orphan = ClaimStore(ResultStore(store_dir).root, runner_id="crashed")
+        assert orphan.try_claim(spec.cell_key(spec.expand()[0]))
+        code, text = run_cli("grid", "status", *self._axes(store_dir))
+        assert code == 0
+        assert "total=2 stored=2 claimed=0 pending=0" in text
+
+    def test_status_rejects_bad_axes(self, tmp_path):
+        code, text = run_cli(
+            "grid", "status",
+            "--store", str(tmp_path),
+            "--scenarios", "diurnal:wobble=1",
+        )
+        assert code == 2
+        assert "does not accept parameter" in text
 
 
 class TestClaimsScenarioNote:

@@ -1,0 +1,142 @@
+"""Concurrent grid runners over one shared store — the determinism
+contract of the claim protocol.
+
+Two independent ``GridRunner`` processes pointed at the same result
+store and spec must partition a 16-cell grid dynamically: every cell
+executed exactly once overall (``executed_A + executed_B == 16``, the
+rest cache hits), no claim files left behind, and the stored documents
+— and therefore the aggregate report — byte-identical to a serial
+single-runner run.  This is the in-repo twin of the ``grid-concurrent``
+CI job, which proves the same property through the CLI.
+"""
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SweepAggregator, render_sweep_rows
+from repro.analysis.persistence import load_grid_cell_document
+from repro.experiments import GridRunner, GridSpec, small_config
+from repro.results import ResultStore
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="two-process claim test relies on the fork start method",
+)
+
+GRID = dict(
+    protocols=("flooding", "locaware"),
+    scenarios=("baseline", "diurnal:amplitude=0.3"),
+    config_overrides=({}, {"ttl": 5}),
+    seeds=(1, 2),
+    max_queries=10,
+)
+
+
+def _spec() -> GridSpec:
+    return GridSpec(
+        base_config=small_config(seed=1).replace(query_rate_per_peer=0.02),
+        **GRID,
+    )
+
+
+def _runner_process(store_dir: Path, runner_id: str, out_path: Path) -> None:
+    report = GridRunner(
+        _spec(),
+        store=ResultStore(store_dir),
+        runner_id=runner_id,
+        poll_interval_s=0.02,
+    ).run()
+    out_path.write_text(
+        json.dumps(
+            {
+                "executed": report.executed,
+                "cached": report.cached,
+                "quarantined": report.quarantined,
+                "total": report.num_cells,
+            }
+        )
+    )
+
+
+def _store_aggregate(store: ResultStore) -> str:
+    """Render a store's cells in deterministic (sorted-key) order."""
+    aggregator = SweepAggregator()
+    for key in store.keys():
+        document = store.get(key)
+        aggregator.add(
+            document["cell"]["label"],
+            document["cell"]["protocol"],
+            load_grid_cell_document(document),
+        )
+    return render_sweep_rows(aggregator.rows())
+
+
+class TestTwoConcurrentRunners:
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("concurrent")
+        shared = tmp / "shared"
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(
+                target=_runner_process,
+                args=(shared, f"runner-{tag}", tmp / f"report-{tag}.json"),
+            )
+            for tag in ("a", "b")
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=300)
+        assert all(process.exitcode == 0 for process in processes)
+        reports = {
+            tag: json.loads((tmp / f"report-{tag}.json").read_text())
+            for tag in ("a", "b")
+        }
+        serial = tmp / "serial"
+        GridRunner(_spec(), store=ResultStore(serial)).run()
+        return {
+            "shared": ResultStore(shared),
+            "serial": ResultStore(serial),
+            "reports": reports,
+        }
+
+    def test_grid_is_16_cells(self):
+        assert _spec().num_cells == 16
+
+    def test_zero_duplicate_executions(self, outcome):
+        a, b = outcome["reports"]["a"], outcome["reports"]["b"]
+        assert a["executed"] + b["executed"] == 16
+        assert a["executed"] + a["cached"] == a["total"] == 16
+        assert b["executed"] + b["cached"] == b["total"] == 16
+        assert a["quarantined"] == b["quarantined"] == 0
+
+    def test_union_is_complete(self, outcome):
+        assert len(outcome["shared"]) == 16
+        assert set(outcome["shared"].keys()) == set(outcome["serial"].keys())
+
+    def test_no_claims_left_behind(self, outcome):
+        claims_dir = outcome["shared"].root / "claims"
+        assert not claims_dir.is_dir() or not list(claims_dir.iterdir())
+
+    def test_documents_byte_identical_to_serial(self, outcome):
+        shared, serial = outcome["shared"], outcome["serial"]
+        for key in serial.keys():
+            assert (
+                shared.path_for(key).read_bytes()
+                == serial.path_for(key).read_bytes()
+            ), f"cell {key[:12]} diverged between concurrent and serial"
+
+    def test_aggregate_report_byte_identical_to_serial(self, outcome):
+        assert _store_aggregate(outcome["shared"]) == _store_aggregate(
+            outcome["serial"]
+        )
+
+    def test_warm_rerun_executes_nothing(self, outcome):
+        report = GridRunner(
+            _spec(), store=outcome["shared"], poll_interval_s=0.02
+        ).run()
+        assert (report.executed, report.cached) == (0, 16)

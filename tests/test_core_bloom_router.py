@@ -1,6 +1,5 @@
 """Unit tests for the Bloom router (state, pushes, routing)."""
 
-import pytest
 
 from repro.core import BloomRouter
 from repro.overlay import P2PNetwork

@@ -1,6 +1,5 @@
 """Unit tests for LocawareProtocol internals."""
 
-import pytest
 
 from repro.core import LocawareProtocol
 from repro.overlay import P2PNetwork, ProviderEntry, Query

@@ -1,6 +1,5 @@
 """Unit tests for location-aware provider selection."""
 
-import pytest
 
 from repro.core import LocationAwareSelector
 from repro.overlay import P2PNetwork, ProviderEntry, QueryResponse

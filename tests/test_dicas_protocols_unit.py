@@ -1,6 +1,5 @@
 """Unit tests for Dicas and Dicas-Keys protocol internals."""
 
-import pytest
 
 from repro.overlay import P2PNetwork, ProviderEntry, Query, QueryResponse
 from repro.protocols import (

@@ -1,6 +1,5 @@
 """Tests for the ablation drivers (small-scale runs)."""
 
-import math
 
 import pytest
 

@@ -11,8 +11,6 @@ import pytest
 
 from repro.analysis import aggregate_sweep, render_sweep_report
 from repro.experiments import (
-    GridCell,
-    GridReport,
     GridRunner,
     GridSpec,
     ScenarioSpec,
@@ -307,6 +305,189 @@ class TestResume:
             assert run_to_document(serial.runs[cell]) == run_to_document(
                 parallel.runs[cell]
             ), cell
+
+
+class TestClaimAwareRunner:
+    """Crash-safety of the skip→claim→execute→commit loop: stale
+    leases are reclaimed and re-executed exactly once, corrupt cells
+    are quarantined and re-run, live foreign claims are waited out,
+    and no claim files outlive a completed grid."""
+
+    GRID = dict(
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "diurnal:amplitude=0.3"),
+        seeds=(1, 2),
+        max_queries=10,
+    )
+
+    def _runner(self, store, **kwargs):
+        kwargs.setdefault("poll_interval_s", 0.01)
+        return GridRunner(_spec(**self.GRID), store=store, **kwargs)
+
+    def test_no_claims_survive_a_completed_grid(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = self._runner(store, runner_id="solo")
+        report = runner.run()
+        assert report.executed == 8
+        assert list(runner.claims.claims()) == []
+        assert not list(runner.claims.directory.glob("*"))
+
+    def test_runner_id_surfaces(self, tmp_path):
+        runner = self._runner(ResultStore(tmp_path), runner_id="me-1")
+        assert runner.runner_id == "me-1"
+        assert GridRunner(_spec(**self.GRID)).runner_id is None
+
+    def test_stale_claim_is_reclaimed_and_executed_exactly_once(
+        self, tmp_path
+    ):
+        from repro.results import ClaimStore
+
+        store = ResultStore(tmp_path)
+        baseline = self._runner(store).run()
+        spec = _spec(**self.GRID)
+        victim = spec.expand()[2]
+        key = spec.cell_key(victim)
+        assert store.delete(key)
+        # A runner died holding the claim: lease TTL 0 = instantly stale.
+        dead = ClaimStore(store.root, runner_id="dead", lease_ttl_s=0.0)
+        assert dead.try_claim(key)
+
+        lines = []
+        report = self._runner(store, runner_id="heir").run(
+            progress=lines.append
+        )
+        assert (report.executed, report.cached) == (1, 7)
+        executed_lines = [line for line in lines if victim.protocol in line]
+        assert len(executed_lines) == 1  # exactly once
+        # The heir's commit matches the original byte for byte.
+        assert store.has(key)
+        assert repr(aggregate_sweep(report)) == repr(
+            aggregate_sweep(baseline)
+        )
+
+    def test_live_foreign_claim_is_waited_out(self, tmp_path):
+        """A cell claimed by a live runner is not duplicated: this
+        runner polls until the other commits, then takes it as cached."""
+        import threading
+
+        from repro.results import ClaimStore
+
+        store = ResultStore(tmp_path)
+        self._runner(store).run()
+        spec = _spec(**self.GRID)
+        cell = spec.expand()[0]
+        key = spec.cell_key(cell)
+        document = store.get(key)
+        store.delete(key)
+        other = ClaimStore(store.root, runner_id="other", lease_ttl_s=60.0)
+        assert other.try_claim(key)
+
+        def commit_soon():
+            store.put(key, document)
+            other.release(key)
+
+        timer = threading.Timer(0.15, commit_soon)
+        timer.start()
+        try:
+            lines = []
+            report = self._runner(store).run(progress=lines.append)
+        finally:
+            timer.cancel()
+        assert (report.executed, report.cached) == (0, 8)
+        assert any("waiting" in line for line in lines)
+
+    def test_semantically_corrupt_cell_quarantined_and_rerun(self, tmp_path):
+        """A document that *parses* but is not a grid cell (schema
+        drift, operator edit) heals the same way as byte corruption:
+        quarantined, re-executed, no claims leaked."""
+        store = ResultStore(tmp_path)
+        self._runner(store).run()
+        spec = _spec(**self.GRID)
+        key = spec.cell_key(spec.expand()[4])
+        store.put(key, {"kind": "grid-cell"})  # valid JSON, wrong shape
+
+        runner = self._runner(store, runner_id="healer")
+        report = runner.run()
+        assert (report.executed, report.cached, report.quarantined) == (
+            1,
+            7,
+            1,
+        )
+        assert store.path_for(key).with_name(f"{key}.json.corrupt").is_file()
+        assert store.has(key)  # recommitted
+        assert list(runner.claims.claims()) == []  # nothing leaked
+
+    def test_corrupt_cell_quarantined_and_rerun_once(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._runner(store).run()
+        spec = _spec(**self.GRID)
+        key = spec.cell_key(spec.expand()[5])
+        store.path_for(key).write_text("{definitely not json")
+
+        lines = []
+        report = self._runner(store).run(progress=lines.append)
+        assert (report.executed, report.cached, report.quarantined) == (
+            1,
+            7,
+            1,
+        )
+        assert any("quarantined" in line for line in lines)
+        quarantined = store.path_for(key).with_name(f"{key}.json.corrupt")
+        assert quarantined.is_file()
+        assert store.has(key)  # recommitted
+
+    def test_orphaned_claim_on_a_stored_cell_is_pruned(self, tmp_path):
+        """Crash between put and release: the cell is stored but its
+        claim file survives.  The next run prunes it and cache-hits."""
+        from repro.results import ClaimStore
+
+        store = ResultStore(tmp_path)
+        self._runner(store).run()
+        spec = _spec(**self.GRID)
+        key = spec.cell_key(spec.expand()[0])
+        orphan = ClaimStore(store.root, runner_id="crashed", lease_ttl_s=3600)
+        assert orphan.try_claim(key)
+
+        report = self._runner(store).run()
+        assert (report.executed, report.cached) == (0, 8)
+        assert orphan.get(key) is None  # pruned, not waited on
+
+    def test_old_tmp_litter_is_swept_at_run_start(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        self._runner(store).run()
+        key = next(store.keys())
+        litter = store.root / key[:2] / f".{'f' * 64}.999.tmp"
+        litter.write_text("{")
+        ancient = os.path.getmtime(litter) - 86400
+        os.utime(litter, (ancient, ancient))
+        report = self._runner(store).run()
+        assert (report.executed, report.cached) == (0, 8)
+        assert not litter.exists()
+
+    def test_interrupted_batch_releases_its_claims(self, tmp_path):
+        """An exception mid-batch must not leave claims behind for the
+        TTL to time out — surviving runners take over immediately."""
+        store = ResultStore(tmp_path)
+        runner = self._runner(store, runner_id="doomed")
+        original = store.put
+        calls = {"n": 0}
+
+        def exploding_put(key, document):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise OSError("disk full")
+            return original(key, document)
+
+        store.put = exploding_put
+        with pytest.raises(OSError, match="disk full"):
+            runner.run()
+        store.put = original
+        assert list(runner.claims.claims()) == []
+        # The two committed cells resume as cache hits.
+        report = self._runner(store).run()
+        assert (report.executed, report.cached) == (6, 2)
 
 
 class TestSeedSweepOnGridEngine:

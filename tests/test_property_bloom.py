@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the Bloom filter substrate."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bloom import (

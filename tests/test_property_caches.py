@@ -2,7 +2,7 @@
 
 from collections import OrderedDict
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import LocationAwareIndex

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.overlay import P2PNetwork, ProviderEntry
 from repro.protocols import FloodingProtocol

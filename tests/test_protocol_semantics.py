@@ -1,6 +1,5 @@
 """Behavioural tests of subtle protocol semantics (§3.1 fine print)."""
 
-import random
 
 import pytest
 

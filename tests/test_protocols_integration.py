@@ -7,7 +7,6 @@ import pytest
 from repro.core import LocawareProtocol
 from repro.overlay import P2PNetwork
 from repro.protocols import (
-    DicasKeysProtocol,
     DicasProtocol,
     FloodingProtocol,
     file_group,

@@ -7,6 +7,7 @@ import pytest
 
 from repro.results import (
     SCHEMA_VERSION,
+    CorruptResultError,
     ResultStore,
     canonical_json,
     cell_key,
@@ -175,3 +176,68 @@ class TestResultStore:
         store.put(KEY_A, {"v": 1})
         os.unlink(store.path_for(KEY_A))
         assert not store.has(KEY_A)
+
+
+class TestCrashSafety:
+    """Leftover temp files, corrupt documents, and their recovery."""
+
+    def test_leftover_tmp_files_are_invisible_to_readers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        orphan = tmp_path / KEY_A[:2] / f".{KEY_B}.4242.tmp"
+        orphan.write_text('{"half": ')
+        assert list(store.keys()) == [KEY_A]
+        assert not store.has(KEY_B)
+
+    def test_clean_tmp_removes_only_old_orphans(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        shard = tmp_path / KEY_A[:2]
+        old = shard / f".{KEY_B}.1.tmp"
+        fresh = shard / f".{'c' * 64}.2.tmp"
+        old.write_text("x")
+        fresh.write_text("x")
+        hour_ago = os.path.getmtime(old) - 7200
+        os.utime(old, (hour_ago, hour_ago))
+        assert store.clean_tmp(max_age_s=3600.0) == 1
+        assert not old.exists()
+        assert fresh.exists()  # a live writer's file survives
+        assert store.get(KEY_A) == {"v": 1}  # documents untouched
+
+    def test_clean_tmp_on_missing_store(self, tmp_path):
+        assert ResultStore(tmp_path / "never").clean_tmp() == 0
+
+    @pytest.mark.parametrize("payload", ["{truncated", "", "[1, 2, 3]"])
+    def test_corrupt_document_is_quarantined_not_fatal(self, tmp_path, payload):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        store.path_for(KEY_A).write_text(payload)
+        with pytest.raises(CorruptResultError) as excinfo:
+            store.get(KEY_A)
+        # Renamed aside, reported, and henceforth simply absent.
+        quarantined = store.path_for(KEY_A).with_name(f"{KEY_A}.json.corrupt")
+        assert excinfo.value.quarantined_to == quarantined
+        assert quarantined.is_file()
+        assert quarantined.read_text() == payload  # evidence preserved
+        assert not store.has(KEY_A)
+        assert list(store.keys()) == []
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+
+    def test_quarantined_cell_can_be_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"v": 1})
+        store.path_for(KEY_A).write_text("{broken")
+        with pytest.raises(CorruptResultError):
+            store.get(KEY_A)
+        store.put(KEY_A, {"v": 2})  # the re-executed cell commits fine
+        assert store.get(KEY_A) == {"v": 2}
+
+    def test_corrupt_error_is_not_a_keyerror(self, tmp_path):
+        """Callers distinguish 'absent' (KeyError) from 'was present
+        but damaged' (CorruptResultError) — resume treats both as
+        pending, but only the latter is reported."""
+        assert not issubclass(CorruptResultError, KeyError)
+
+    def test_quarantine_of_missing_file_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).quarantine(KEY_A) is None

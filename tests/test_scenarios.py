@@ -18,7 +18,6 @@ from repro.scenarios import (
     SCENARIO_REGISTRY,
     ChurnStorm,
     DiurnalWorkload,
-    FlashCrowd,
     FlashCrowdWorkload,
     RegionalHotspotWorkload,
     Scenario,

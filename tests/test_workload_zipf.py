@@ -1,6 +1,5 @@
 """Unit tests for the Zipf sampler."""
 
-import math
 import random
 from collections import Counter
 

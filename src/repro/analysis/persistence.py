@@ -131,8 +131,14 @@ def comparison_to_document(result: Any) -> Dict[str, Any]:
 
 
 def save_comparison(result: Any, out: IO[str]) -> None:
-    """Write a comparison document as indented JSON."""
-    json.dump(comparison_to_document(result), out, indent=2, sort_keys=True)
+    """Write a comparison document as indented, strict JSON."""
+    json.dump(
+        comparison_to_document(result),
+        out,
+        indent=2,
+        sort_keys=True,
+        allow_nan=False,
+    )
     out.write("\n")
 
 
@@ -369,8 +375,19 @@ def grid_report_to_document(report: Any) -> Dict[str, Any]:
 
 
 def save_grid_report(report: Any, out: IO[str]) -> None:
-    """Write a sweep/grid report document as indented JSON."""
-    json.dump(grid_report_to_document(report), out, indent=2, sort_keys=True)
+    """Write a sweep/grid report document as indented, strict JSON.
+
+    NaN metrics were already encoded as ``null`` by
+    :func:`run_to_document`; ``allow_nan=False`` guarantees nothing
+    else smuggles a non-standard token into the file.
+    """
+    json.dump(
+        grid_report_to_document(report),
+        out,
+        indent=2,
+        sort_keys=True,
+        allow_nan=False,
+    )
     out.write("\n")
 
 

@@ -19,7 +19,9 @@ Subcommands:
   a protocol × scenario(+params) × config-override × seed grid —
   several ``grid run`` processes pointed at one store partition the
   grid dynamically through lease claims (``--runner-id``,
-  ``--lease-ttl``) with zero duplicate executions; ``grid status``
+  ``--lease-ttl``) with zero duplicate executions, and each runner
+  can fan its claimed cells across ``--workers`` fork processes that
+  inherit parent-built blueprints; ``grid status``
   shows stored/claimed/pending counts and the active claims;
   ``grid report`` aggregates a store from disk, ``grid ls`` lists the
   stored cells;
@@ -209,7 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
         "several runs on one store partition the grid via lease claims",
     )
     _add_grid_axis_options(grid_run)
-    grid_run.add_argument("--workers", type=int, default=1)
+    grid_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for this runner's claimed batches: "
+        "blueprints are built once in the parent and inherited "
+        "copy-on-write by a persistent fork pool, while claims and "
+        "commits stay in the parent — results are byte-identical to "
+        "--workers 1, and N runner processes × M workers each still "
+        "partition one store exactly",
+    )
     grid_run.add_argument("--reuse-builds", action="store_true")
     grid_run.add_argument(
         "--runner-id",
@@ -457,7 +469,17 @@ def _parse_override_axes(entries):
         if name in fields:
             raise ValueError(f"--set names field {name!r} more than once")
         fields.append(name)
-        axes.append([(name, parse_scalar(value)) for value in raw.split(",")])
+        axis = []
+        for value in raw.split(","):
+            try:
+                axis.append((name, parse_scalar(value)))
+            except ValueError as error:
+                # Non-finite constants (NaN, Infinity, 1e999) are
+                # rejected eagerly, with the config-override axis named.
+                raise ValueError(
+                    f"--set {name} (config-override axis): {error}"
+                ) from None
+        axes.append(axis)
     if not axes:
         return [{}]
     return [dict(combination) for combination in itertools.product(*axes)]
@@ -505,7 +527,11 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
     except (ValueError, ConfigurationError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
-    print(f"  runner: {runner.runner_id} (lease TTL {lease_ttl:g}s)", file=out)
+    print(
+        f"  runner: {runner.runner_id} "
+        f"(lease TTL {lease_ttl:g}s, workers {args.workers})",
+        file=out,
+    )
     started = time.time()
     try:
         report = runner.run(
@@ -572,6 +598,7 @@ def _cmd_grid_status(args: argparse.Namespace, out) -> int:
             state = "stale" if claim.is_stale(now) else "live"
             print(
                 f"  {key[:12]}  {claim.runner_id}  "
+                f"workers {claim.workers}  "
                 f"age {claim.age_s(now):6.1f}s  "
                 f"heartbeat {claim.silence_s(now):5.1f}s ago  {state}",
                 file=out,

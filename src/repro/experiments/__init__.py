@@ -6,6 +6,8 @@ from .grid import (
     GridReport,
     GridRunner,
     GridSpec,
+    GridWorkerPool,
+    NonFiniteValueError,
     ScenarioSpec,
     execute_cells,
 )
@@ -59,5 +61,7 @@ __all__ = [
     "GridSpec",
     "GridReport",
     "GridRunner",
+    "GridWorkerPool",
+    "NonFiniteValueError",
     "execute_cells",
 ]

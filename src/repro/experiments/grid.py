@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import math
 import multiprocessing
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -52,11 +53,12 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 from ..analysis.persistence import grid_cell_to_document, load_grid_cell_document
-from ..overlay.blueprint import NetworkBlueprint
+from ..overlay.blueprint import BlueprintCache, NetworkBlueprint
 from ..results import (
     DEFAULT_LEASE_TTL_S,
     ClaimStore,
@@ -77,33 +79,40 @@ __all__ = [
     "GridSpec",
     "GridReport",
     "GridRunner",
+    "GridWorkerPool",
+    "NonFiniteValueError",
     "execute_cells",
     "parse_scalar",
 ]
 
+#: Blueprints retained per process under plain LRU churn (``prewarm``
+#: grows the cache transiently; ``clear()`` restores this default).
+_BLUEPRINT_CACHE_CAPACITY = 8
+
 #: Per-process blueprint cache, keyed by topology fingerprint.  Worker
 #: processes live for the whole sweep (no ``maxtasksperchild``), so a
 #: worker that already built a cell's topology instantiates it for
-#: every later cell with the same fingerprint instead of rebuilding.
-_BLUEPRINT_CACHE: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
-
-#: Blueprints retained per process (small LRU: with reuse-friendly task
-#: ordering, consecutive cells share a fingerprint anyway).
-_BLUEPRINT_CACHE_CAPACITY = 8
+#: every later cell with the same fingerprint instead of rebuilding —
+#: and ``fork``-started workers inherit everything the parent
+#: prewarmed copy-on-write (see :class:`GridWorkerPool`).
+_BLUEPRINT_CACHE = BlueprintCache(capacity=_BLUEPRINT_CACHE_CAPACITY)
 
 
 def _cached_blueprint(config: SimulationConfig) -> NetworkBlueprint:
     """The blueprint for ``config``, built at most once per process."""
-    fingerprint = config.topology_fingerprint()
-    blueprint = _BLUEPRINT_CACHE.get(fingerprint)
-    if blueprint is None:
-        blueprint = NetworkBlueprint.build(config)
-        _BLUEPRINT_CACHE[fingerprint] = blueprint
-        if len(_BLUEPRINT_CACHE) > _BLUEPRINT_CACHE_CAPACITY:
-            _BLUEPRINT_CACHE.popitem(last=False)
-    else:
-        _BLUEPRINT_CACHE.move_to_end(fingerprint)
-    return blueprint
+    return _BLUEPRINT_CACHE.get(config)
+
+
+class NonFiniteValueError(ValueError):
+    """A grid value parsed to NaN/Infinity, which the grid forbids.
+
+    Non-finite floats cannot ride through the content-addressed layer:
+    ``json.dumps`` would emit the non-standard ``NaN``/``Infinity``
+    tokens inside key payloads and stored documents (invalid JSON for
+    strict parsers), and ``nan != nan`` silently defeats the
+    duplicate-axis check.  They are rejected at parse/validation time
+    with the offending axis named instead.
+    """
 
 
 def parse_scalar(text: str) -> Any:
@@ -111,12 +120,59 @@ def parse_scalar(text: str) -> Any:
 
     ``"0.3"`` → 0.3, ``"5"`` → 5, ``"true"`` → True, ``"router"`` →
     ``"router"`` — the same coercion for scenario parameters and
-    config-override values.
+    config-override values.  Values that *parse* but contain a
+    non-finite float — the constants (``NaN``, ``Infinity``,
+    ``-Infinity``), overflow forms such as ``1e999``, and composites
+    like ``[1e999]`` — raise :class:`NonFiniteValueError` instead:
+    they would poison content-addressed keys and duplicate detection
+    downstream.  Text that is not valid JSON at all (``NaN-sweep``,
+    ``router``) stays an ordinary string.
     """
     try:
-        return json.loads(text)
+        value = json.loads(text)
     except (json.JSONDecodeError, ValueError):
         return text
+    if _first_non_finite(value) is not None:
+        raise NonFiniteValueError(
+            f"non-finite value {text!r} is not a valid grid value "
+            "(it cannot round-trip through strict JSON, and NaN defeats "
+            "duplicate detection)"
+        )
+    return value
+
+
+def _first_non_finite(value: Any) -> Optional[float]:
+    """The first non-finite float anywhere inside ``value``, else None.
+
+    Axis values can be JSON composites, so the check must recurse — a
+    NaN hiding in a list would otherwise surface only as an opaque
+    ``allow_nan=False`` failure deep inside key hashing, with no axis
+    named.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return value
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            found = _first_non_finite(item)
+            if found is not None:
+                return found
+    if isinstance(value, dict):
+        for item in value.values():
+            found = _first_non_finite(item)
+            if found is not None:
+                return found
+    return None
+
+
+def _check_finite(axis: str, name: str, value: Any) -> None:
+    """Reject a non-finite axis value (at any depth), naming the axis."""
+    found = _first_non_finite(value)
+    if found is not None:
+        raise ValueError(
+            f"non-finite value {found!r} in {name!r} on the {axis} axis; "
+            "NaN/Infinity cannot round-trip through strict JSON and NaN "
+            "defeats duplicate detection"
+        )
 
 
 Items = Tuple[Tuple[str, Any], ...]
@@ -169,7 +225,12 @@ class ScenarioSpec:
                     f"malformed scenario parameter {pair!r} in {text!r}; "
                     "expected name:key=value[,key=value...]"
                 )
-            params[key.strip()] = parse_scalar(value)
+            try:
+                params[key.strip()] = parse_scalar(value)
+            except NonFiniteValueError as error:
+                raise ValueError(
+                    f"scenario parameter {key.strip()!r} in {text!r}: {error}"
+                ) from None
         return cls(name=name, params=_as_items(params))
 
     def params_dict(self) -> Dict[str, Any]:
@@ -243,6 +304,8 @@ class GridSpec:
         if bucket_width is not None and bucket_width < 1:
             raise ValueError(f"bucket_width must be >= 1, got {bucket_width}")
         self.base_config = base_config if base_config is not None else paper_config()
+        for name, value in self.base_config.to_dict().items():
+            _check_finite("base-config", name, value)
         self.protocols = tuple(protocols)
         self.seeds = tuple(seeds)
         self.max_queries = max_queries
@@ -267,6 +330,8 @@ class GridSpec:
             ScenarioSpec.coerce(entry) for entry in scenarios
         )
         for spec in self.scenarios:
+            for param, value in spec.params:
+                _check_finite("scenario", f"{spec.name}:{param}", value)
             try:
                 spec.make()
             except ValueError as error:
@@ -316,6 +381,8 @@ class GridSpec:
                 "the config-override axis may not set 'seed'; "
                 "seeds are their own axis"
             )
+        for name, value in overrides.items():
+            _check_finite("config-override", name, value)
         # Trial replace: a bad value fails now with the field named,
         # not 480 cells into the grid.
         self.base_config.replace(**overrides)
@@ -349,6 +416,15 @@ class GridSpec:
         if cell.overrides:
             config = config.replace(**dict(cell.overrides))
         return config.replace(seed=cell.seed)
+
+    def cell_build_config(self, cell: GridCell) -> SimulationConfig:
+        """The scenario-configured effective config of one cell.
+
+        This is the configuration the cell's world is built from — the
+        blueprint-cache key — so scenarios that do touch topology (e.g.
+        cold-start's sparser shares) key their own builds.
+        """
+        return cell.scenario.make().configure(self.cell_config(cell))
 
     def cell_key(self, cell: GridCell) -> str:
         """The content-addressed store key of one cell."""
@@ -524,17 +600,20 @@ def _run_cell(
     task: Tuple[GridCell, SimulationConfig, int, int, bool]
 ) -> Tuple[GridCell, Any]:
     """Execute one grid cell (top-level so worker processes can pickle it)."""
-    cell, base_config, max_queries, bucket_width, reuse_builds = task
+    cell, base_config, max_queries, bucket_width, use_blueprints = task
     config = base_config
     if cell.overrides:
         config = config.replace(**dict(cell.overrides))
     config = config.replace(seed=cell.seed)
     scenario = cell.scenario.make()
     blueprint: Optional[NetworkBlueprint] = None
-    if reuse_builds:
+    if use_blueprints:
         # Key the cache by the *effective* configuration so scenarios
         # that do touch topology (e.g. cold-start's sparser shares)
-        # still share one build across the protocols of their row.
+        # still share one build across the protocols of their row.  In
+        # a fork worker this is a pure hit on the parent's prewarmed
+        # cache; otherwise the world is built here at most once per
+        # fingerprint per process.
         blueprint = _cached_blueprint(scenario.configure(config))
     run = run_protocol(
         config,
@@ -547,6 +626,106 @@ def _run_cell(
     return cell, run
 
 
+class GridWorkerPool:
+    """A persistent worker pool for grid cells, preferring ``fork``.
+
+    Where the platform offers the ``fork`` start method, the pool is
+    created *after* ``prebuild`` worlds are built into the process-wide
+    :data:`_BLUEPRINT_CACHE`, so every worker inherits the immutable
+    substrates — underlay, catalog, pristine overlay — copy-on-write
+    at fork time: one build per distinct topology fingerprint in the
+    parent, zero builds (and zero pickling of the world) in the
+    workers.  The pool then outlives any number of :meth:`imap` rounds,
+    which is what lets the claim-aware store loop dispatch batch after
+    batch without re-forking.
+
+    Platforms without ``fork`` fall back to the default start method;
+    ``prebuild`` is skipped there (a spawned worker re-imports this
+    module with an empty cache) and each worker instead builds lazily
+    into its own cache, at most once per fingerprint per worker.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        prebuild: Sequence[SimulationConfig] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        methods = multiprocessing.get_all_start_methods()
+        self.start_method: Optional[str] = (
+            "fork" if "fork" in methods else None
+        )
+        self.prebuilt = (
+            _BLUEPRINT_CACHE.prewarm(prebuild)
+            if self.shares_parent_memory
+            else 0
+        )
+        context = multiprocessing.get_context(self.start_method)
+        self._pool = context.Pool(processes=workers)
+
+    @property
+    def shares_parent_memory(self) -> bool:
+        """Whether workers inherit the parent's blueprint cache (fork)."""
+        return self.start_method == "fork"
+
+    def imap(
+        self,
+        tasks: Sequence[Tuple[GridCell, SimulationConfig, int, int, bool]],
+        chunksize: int = 1,
+    ) -> Iterator[Tuple[GridCell, Any]]:
+        """Dispatch cell tasks, yielding ``(cell, run)`` as they finish."""
+        return self._pool.imap(_run_cell, tasks, chunksize=chunksize)
+
+    def map(self, fn: Callable, items: Sequence[Any]) -> List[Any]:
+        """Run an arbitrary picklable function across the workers."""
+        return self._pool.map(fn, items)
+
+    def close(self) -> None:
+        """Tear the workers down (idempotent).
+
+        Also hands any transient prewarm capacity back to the cache:
+        with the workers gone, the parent has no reason to pin more
+        worlds than the ordinary LRU bound.
+        """
+        self._pool.terminate()
+        self._pool.join()
+        if self.prebuilt:
+            _BLUEPRINT_CACHE.restore_capacity()
+
+    def __enter__(self) -> "GridWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _capped_prebuild(
+    spec: GridSpec, cells: Sequence[GridCell]
+) -> List[SimulationConfig]:
+    """Up to one cache-capacity's worth of distinct build configs.
+
+    Collected in dispatch order, so the common few-fingerprint grid
+    ships every world to the workers at fork time, while a 100-seed
+    grid neither serialises 100 builds in the parent (workers idling)
+    nor outgrows the cache's fixed memory bound — topologies past the
+    cap build lazily per worker, exactly as before the shared
+    substrate existed.
+    """
+    prebuild: List[SimulationConfig] = []
+    seen: Set[str] = set()
+    for cell in cells:
+        config = spec.cell_build_config(cell)
+        fingerprint = config.topology_fingerprint()
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            prebuild.append(config)
+            if len(prebuild) >= _BLUEPRINT_CACHE.capacity:
+                break
+    return prebuild
+
+
 def execute_cells(
     spec: GridSpec,
     cells: Sequence[GridCell],
@@ -555,6 +734,7 @@ def execute_cells(
     progress: Optional[Callable[[str], None]] = None,
     progress_offset: int = 0,
     progress_total: Optional[int] = None,
+    pool: Optional[GridWorkerPool] = None,
 ) -> Iterator[Tuple[GridCell, Any]]:
     """Execute ``cells`` and yield ``(cell, run)`` in completion order.
 
@@ -562,10 +742,19 @@ def execute_cells(
     :func:`~repro.experiments.runner.run_protocol` call, so fanning the
     cells over a ``multiprocessing`` pool cannot change any result —
     ``workers=1`` and ``workers=N`` are cell-for-cell identical
-    (``tests/test_determinism.py``).  With ``reuse_builds``,
-    same-topology cells are made contiguous and dispatched chunk-wise
-    so each chunk hits a worker's blueprint cache after one build;
-    results are byte-identical either way.
+    (``tests/test_determinism.py``).  With ``reuse_builds``, up to one
+    cache-capacity's worth of distinct topologies is prebuilt in the
+    parent and inherited copy-on-write by fork workers; anything past
+    that cap (and everything on platforms without fork) builds lazily,
+    at most once per fingerprint per worker — results are
+    byte-identical either way.
+
+    ``pool`` dispatches through a caller-owned persistent
+    :class:`GridWorkerPool` instead of forking a fresh one for this
+    call — the claim-aware store loop runs many small batches on one
+    pool.  When that pool shares parent memory, cells instantiate the
+    blueprints its owner prewarmed rather than rebuilding the world
+    per task.
 
     ``progress_offset`` / ``progress_total`` re-anchor the ``[done/
     total]`` progress prefix when these cells are one batch of a larger
@@ -575,15 +764,25 @@ def execute_cells(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     cells = list(cells)
+    use_blueprints = reuse_builds or (
+        pool is not None and pool.shares_parent_memory
+    )
     if reuse_builds:
         # Cell results are order-independent, so sorting only changes
         # scheduling: one (row, seed) topology per contiguous chunk.
         cells.sort(key=lambda c: (c.label, c.seed, c.protocol))
     tasks = [
-        (cell, spec.base_config, spec.max_queries, spec.bucket_width, reuse_builds)
+        (cell, spec.base_config, spec.max_queries, spec.bucket_width, use_blueprints)
         for cell in cells
     ]
     total = progress_total if progress_total is not None else len(tasks)
+    if pool is not None:
+        for done, (cell, run) in enumerate(
+            pool.imap(tasks), start=1 + progress_offset
+        ):
+            _note(progress, done, total, cell)
+            yield cell, run
+        return
     workers = min(workers, len(tasks)) if tasks else 1
     if workers == 1:
         for done, task in enumerate(tasks, start=1 + progress_offset):
@@ -591,22 +790,76 @@ def execute_cells(
             _note(progress, done, total, cell)
             yield cell, run
     else:
-        # fork keeps the registries without re-importing; platforms
-        # without it (or with it disabled) fall back to the default
-        # start method, where workers re-import this module and the
-        # scenario library with it.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
+        prebuild = _capped_prebuild(spec, cells) if reuse_builds else []
         chunksize = len(spec.protocols) if reuse_builds else 1
-        with context.Pool(processes=workers) as pool:
+        with GridWorkerPool(workers, prebuild=prebuild) as ephemeral:
             for done, (cell, run) in enumerate(
-                pool.imap(_run_cell, tasks, chunksize=chunksize),
+                ephemeral.imap(tasks, chunksize=chunksize),
                 start=1 + progress_offset,
             ):
                 _note(progress, done, total, cell)
                 yield cell, run
+
+
+class _HeartbeatTicker:
+    """Background re-stamper for the claims a runner currently holds.
+
+    Heartbeats used to fire only when a batch mate *completed*, so one
+    cell running longer than the lease TTL went silent mid-execution
+    and a thief could legally reclaim (and re-execute) it.  This
+    daemon thread re-stamps every held claim each ``interval_s`` of
+    wall time, so an in-flight claim stays live for exactly as long as
+    its runner does — staleness again means death, not slowness.
+
+    :meth:`release` drops the key and releases the claim under the
+    same lock the tick loop heartbeats under: a heartbeat landing
+    after a release would otherwise recreate the claim file and leak
+    it forever.
+    """
+
+    def __init__(self, claims: ClaimStore, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._claims = claims
+        self.interval_s = interval_s
+        self._lock = threading.Lock()
+        self._held: Set[str] = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def hold(self, key: str) -> None:
+        """Start heartbeating ``key`` (the caller just claimed it)."""
+        with self._lock:
+            self._held.add(key)
+
+    def release(self, key: str) -> None:
+        """Atomically stop heartbeating ``key`` and release its claim."""
+        with self._lock:
+            self._held.discard(key)
+            self._claims.release(key)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="claim-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            with self._lock:
+                for key in tuple(self._held):
+                    # A lost claim (stolen after a suspend longer than
+                    # the TTL) returns False; execution finishes anyway
+                    # — results are deterministic — so just stop
+                    # touching the thief's file.
+                    if not self._claims.heartbeat(key):
+                        self._held.discard(key)
 
 
 class GridRunner:
@@ -618,7 +871,10 @@ class GridRunner:
         The grid to run.
     workers / reuse_builds:
         Forwarded to :func:`execute_cells` (process fan-out and
-        per-worker blueprint reuse).
+        blueprint reuse).  With a store and ``workers > 1``, claimed
+        batches are fanned across one persistent fork
+        :class:`GridWorkerPool` whose workers inherit parent-built
+        blueprints copy-on-write (see :meth:`_ensure_pool`).
     store:
         Optional :class:`~repro.results.store.ResultStore`.  Cells
         whose key the store already holds are *not executed* — their
@@ -645,6 +901,11 @@ class GridRunner:
     poll_interval_s:
         Sleep between passes while every remaining cell is claimed by
         other live runners.
+    heartbeat_interval_s:
+        How often the background ticker re-stamps the claims this
+        runner holds *while their cells execute* (default: a quarter
+        of the lease TTL), so a single cell outliving the TTL is never
+        stolen mid-flight.
     clock:
         Time source for claims (injectable for lease tests).
     """
@@ -658,6 +919,7 @@ class GridRunner:
         runner_id: Optional[str] = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         poll_interval_s: float = 0.5,
+        heartbeat_interval_s: Optional[float] = None,
         clock: Callable[[], float] = time.time,
     ) -> None:
         if workers < 1:
@@ -666,16 +928,26 @@ class GridRunner:
             raise ValueError(
                 f"poll_interval_s must be >= 0, got {poll_interval_s}"
             )
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be > 0, got {heartbeat_interval_s}"
+            )
         self.spec = spec
         self.workers = workers
         self.reuse_builds = reuse_builds
         self.store = store
         self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = (
+            heartbeat_interval_s
+            if heartbeat_interval_s is not None
+            else max(lease_ttl_s / 4.0, 0.05)
+        )
         self.claims: Optional[ClaimStore] = (
             ClaimStore(
                 store.root,
                 runner_id=runner_id,
                 lease_ttl_s=lease_ttl_s,
+                workers=workers,
                 clock=clock,
             )
             if store is not None
@@ -724,6 +996,12 @@ class GridRunner:
         remaining cell is claimed by another live runner — sleep
         briefly and look again; their commits arrive as cache hits,
         their crashes as stale leases this runner reclaims.
+
+        Two background resources live for the duration of the loop: a
+        :class:`_HeartbeatTicker` keeping every held claim live while
+        its cell executes, and (for ``workers > 1``) one persistent
+        :class:`GridWorkerPool` that every claimed batch is fanned
+        across.
         """
         assert self.claims is not None
         self.store.clean_tmp()
@@ -732,68 +1010,100 @@ class GridRunner:
         keys = {cell: cell_key(payload) for cell, payload in payloads.items()}
         batch_size = self._claim_batch_size()
         pending = list(cells)
-        while pending:
-            resolved = 0
-            claimed: List[GridCell] = []
-            deferred: List[GridCell] = []
-            try:
-                for index, cell in enumerate(pending):
-                    if len(claimed) >= batch_size:
-                        deferred.extend(pending[index:])
-                        break
-                    if self._load_stored(cell, keys[cell], report, progress):
-                        resolved += 1
-                    elif self.claims.try_claim(keys[cell]):
-                        # Double-check under the claim: another runner
-                        # may have committed (and released) this cell
-                        # between our store check and the claim.
-                        # Holding the claim, a stored document is
-                        # final — take the cache hit instead of
-                        # executing twice.
-                        if self._load_stored(
-                            cell, keys[cell], report, progress
-                        ):
-                            self.claims.release(keys[cell])
+        pool: Optional[GridWorkerPool] = None
+        ticker = _HeartbeatTicker(self.claims, self.heartbeat_interval_s)
+        ticker.start()
+        try:
+            while pending:
+                resolved = 0
+                claimed: List[GridCell] = []
+                deferred: List[GridCell] = []
+                try:
+                    for index, cell in enumerate(pending):
+                        if len(claimed) >= batch_size:
+                            deferred.extend(pending[index:])
+                            break
+                        if self._load_stored(cell, keys[cell], report, progress):
                             resolved += 1
+                        elif self.claims.try_claim(keys[cell]):
+                            # Double-check under the claim: another runner
+                            # may have committed (and released) this cell
+                            # between our store check and the claim.
+                            # Holding the claim, a stored document is
+                            # final — take the cache hit instead of
+                            # executing twice.
+                            if self._load_stored(
+                                cell, keys[cell], report, progress
+                            ):
+                                self.claims.release(keys[cell])
+                                resolved += 1
+                            else:
+                                claimed.append(cell)
+                                ticker.hold(keys[cell])
                         else:
-                            claimed.append(cell)
-                    else:
-                        deferred.append(cell)
-            except BaseException:
-                # Dying between claiming and executing (disk error,
-                # KeyboardInterrupt) must not strand the claims until
-                # their lease times out on other runners.
-                for cell in claimed:
-                    self.claims.release(keys[cell])
-                raise
-            resolved += self._execute_claimed(
-                claimed, payloads, keys, report, progress
-            )
-            pending = deferred
-            if pending and not resolved:
-                if progress is not None:
-                    progress(
-                        f"waiting: {len(pending)} cell(s) claimed by "
-                        "other runners"
+                            deferred.append(cell)
+                    if claimed:
+                        # Pool creation builds worlds in the parent —
+                        # expensive enough that dying inside it (Ctrl-C,
+                        # MemoryError) must release the batch too, so it
+                        # shares the claim guard below.
+                        pool = self._ensure_pool(pool, claimed)
+                except BaseException:
+                    # Dying between claiming and executing (disk error,
+                    # KeyboardInterrupt) must not strand the claims until
+                    # their lease times out on other runners.
+                    for cell in claimed:
+                        ticker.release(keys[cell])
+                    raise
+                else:
+                    resolved += self._execute_claimed(
+                        claimed, payloads, keys, report, progress, pool, ticker
                     )
-                time.sleep(self.poll_interval_s)
+                pending = deferred
+                if pending and not resolved:
+                    if progress is not None:
+                        progress(
+                            f"waiting: {len(pending)} cell(s) claimed by "
+                            "other runners"
+                        )
+                    time.sleep(self.poll_interval_s)
+        finally:
+            ticker.stop()
+            if pool is not None:
+                pool.close()
         return report
 
     def _claim_batch_size(self) -> int:
         """How many cells to claim per pass.
 
         Small batches = fine-grained dynamic partitioning between
-        runners; large batches = better pool utilisation within one
-        runner (each batch forks a fresh worker pool, and with
-        ``reuse_builds`` tasks are dispatched in protocol-sized chunks
-        that must not out-count the tasks).  Serial runners claim one
-        cell at a time — maximally fair; parallel runners claim a few
-        chunks per worker so no pool worker sits idle.
+        runners; large batches = better utilisation of this runner's
+        persistent pool.  Serial runners claim one cell at a time —
+        maximally fair; parallel runners claim a couple of cells per
+        worker so no pool worker sits idle between passes.
         """
-        if self.workers == 1:
-            return 1
-        chunk = len(self.spec.protocols) if self.reuse_builds else 2
-        return self.workers * chunk
+        return 1 if self.workers == 1 else self.workers * 2
+
+    def _ensure_pool(
+        self, pool: Optional[GridWorkerPool], claimed: List[GridCell]
+    ) -> Optional[GridWorkerPool]:
+        """The persistent pool for claimed batches, forked on first use.
+
+        Created lazily on the first batch that actually executes (a
+        warm store never pays for a pool), after up to one
+        cache-capacity's worth of that batch's distinct topologies is
+        built into the parent's blueprint cache — fork workers inherit
+        those worlds copy-on-write.  The one pool then serves every
+        later batch: a topology the workers did not inherit is built
+        lazily, at most once per worker, which keeps many-seed grids
+        parallel instead of stalling each batch behind serial parent
+        builds and a re-fork.
+        """
+        if self.workers == 1 or pool is not None:
+            return pool
+        return GridWorkerPool(
+            self.workers, prebuild=_capped_prebuild(self.spec, claimed)
+        )
 
     def _load_stored(
         self,
@@ -865,14 +1175,20 @@ class GridRunner:
         keys: Dict[GridCell, str],
         report: GridReport,
         progress: Optional[Callable[[str], None]],
+        pool: Optional[GridWorkerPool],
+        ticker: _HeartbeatTicker,
     ) -> int:
         """Execute the cells this runner holds claims on, commit each.
 
-        Commit order per cell: atomic ``put`` first, release second —
-        a crash in between leaves a stored cell plus an orphaned claim,
-        which the next runner's :meth:`ClaimStore.prune` clears.  The
-        claims of still-running batch mates are heartbeat on every
-        completion, so a long batch cannot go stale mid-flight.
+        Workers (when ``pool`` is given) only simulate: every ``(cell,
+        run)`` comes back to this parent process, which alone runs the
+        commit protocol — atomic ``put`` first, release second — so
+        the PR-4 invariants survive ``--workers`` unchanged.  A crash
+        between put and release leaves a stored cell plus an orphaned
+        claim, which the next runner's :meth:`ClaimStore.prune`
+        clears.  The ``ticker`` keeps every still-running claim live
+        in the background, so neither a long batch nor a single long
+        cell can go stale mid-flight.
         """
         held = {keys[cell] for cell in claimed}
         done = 0
@@ -885,6 +1201,7 @@ class GridRunner:
                 progress=progress,
                 progress_offset=report.executed + report.cached,
                 progress_total=self.spec.num_cells,
+                pool=pool,
             ):
                 key = keys[cell]
                 document = grid_cell_to_document(
@@ -898,10 +1215,8 @@ class GridRunner:
                     ],
                 )
                 self.store.put(key, document)
-                self.claims.release(key)
+                ticker.release(key)
                 held.discard(key)
-                for other in held:
-                    self.claims.heartbeat(other)
                 report.runs[cell] = load_grid_cell_document(document)
                 report.executed += 1
                 done += 1
@@ -910,5 +1225,5 @@ class GridRunner:
             # drop the claims we still hold so a surviving runner can
             # take the cells immediately instead of after a stale TTL.
             for key in held:
-                self.claims.release(key)
+                ticker.release(key)
         return done

@@ -124,9 +124,12 @@ class SweepRunner:
         Process count.  ``1`` runs serially in-process (no pool); the
         effective count never exceeds the number of cells.
     reuse_builds:
-        Build each distinct topology at most once per worker process
+        Build each distinct topology at most once — in the parent,
+        with ``fork`` workers inheriting the prebuilt worlds
+        copy-on-write (lazily per worker on platforms without fork) —
         and instantiate it per cell (see
-        :class:`~repro.overlay.blueprint.NetworkBlueprint`), instead of
+        :class:`~repro.overlay.blueprint.NetworkBlueprint` /
+        :class:`~repro.experiments.grid.GridWorkerPool`), instead of
         rebuilding the world for every cell.  Cells sharing a scenario
         and seed share a build; results are byte-identical either way
         (``tests/test_determinism.py`` locks this in).

@@ -39,8 +39,9 @@ sizes, churn) varying freely.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..files.catalog import FileCatalog
 from ..files.keywords import KeywordPool
@@ -54,7 +55,7 @@ from .graph import OverlayGraph
 from .network import P2PNetwork
 from .peer import Peer
 
-__all__ = ["NetworkBlueprint", "build_count"]
+__all__ = ["BlueprintCache", "NetworkBlueprint", "build_count"]
 
 #: Module-wide tally of topology builds, for benchmarks and tests that
 #: must prove a code path built the world exactly N times.
@@ -199,3 +200,88 @@ class NetworkBlueprint:
             streams=streams,
             tracer=tracer,
         )
+
+
+class BlueprintCache:
+    """A per-process LRU of built blueprints, keyed by topology fingerprint.
+
+    One instance lives at module level in :mod:`repro.experiments.grid`
+    so that ``fork``-started worker processes inherit the parent's
+    built worlds copy-on-write: :meth:`prewarm` builds every distinct
+    fingerprint of an upcoming batch *in the parent*, the pool forks,
+    and each worker's :meth:`get` is a pure cache hit — the immutable
+    underlay/catalog ship to workers exactly once, at fork time,
+    instead of being rebuilt (or pickled) per task.
+
+    ``capacity`` bounds ordinary :meth:`get` churn; :meth:`prewarm`
+    grows it transiently so a prewarmed world is never evicted
+    mid-sweep, and :meth:`clear` restores the default.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._default_capacity = capacity
+        self.capacity = capacity
+        self._blueprints: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
+
+    def get(self, config: SimulationConfig) -> NetworkBlueprint:
+        """The blueprint for ``config``, built at most once per process."""
+        fingerprint = config.topology_fingerprint()
+        blueprint = self._blueprints.get(fingerprint)
+        if blueprint is None:
+            blueprint = NetworkBlueprint.build(config)
+            self._blueprints[fingerprint] = blueprint
+            while len(self._blueprints) > self.capacity:
+                self._blueprints.popitem(last=False)
+        else:
+            self._blueprints.move_to_end(fingerprint)
+        return blueprint
+
+    def prewarm(self, configs: Iterable[SimulationConfig]) -> int:
+        """Build every distinct topology among ``configs``; count builds.
+
+        Deduplicates by fingerprint first, grows :attr:`capacity` to
+        hold them all, then builds only the missing worlds — exactly
+        one :meth:`NetworkBlueprint.build` per distinct fingerprint
+        not already cached.
+        """
+        distinct: "OrderedDict[str, SimulationConfig]" = OrderedDict()
+        for config in configs:
+            distinct.setdefault(config.topology_fingerprint(), config)
+        self.capacity = max(self.capacity, len(distinct))
+        # Touch the already-cached members first so the inserts below
+        # can only evict worlds *outside* this batch — every prewarmed
+        # fingerprint must still be cached when the pool forks.
+        for fingerprint in distinct:
+            if fingerprint in self._blueprints:
+                self._blueprints.move_to_end(fingerprint)
+        built = 0
+        for fingerprint, config in distinct.items():
+            if fingerprint not in self._blueprints:
+                self.get(config)
+                built += 1
+        return built
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._blueprints
+
+    def __len__(self) -> int:
+        return len(self._blueprints)
+
+    def restore_capacity(self) -> None:
+        """Shrink back to the default capacity, evicting LRU overflow.
+
+        The counterpart of :meth:`prewarm`'s transient growth: pool
+        owners call this when their workers are gone, so a long-lived
+        parent process never retains more worlds than the ordinary
+        LRU bound.
+        """
+        self.capacity = self._default_capacity
+        while len(self._blueprints) > self.capacity:
+            self._blueprints.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached blueprint and restore the default capacity."""
+        self._blueprints.clear()
+        self.capacity = self._default_capacity

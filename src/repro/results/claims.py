@@ -85,6 +85,9 @@ class Claim:
     claimed_at: float
     heartbeat_at: float
     lease_ttl_s: float
+    #: How many worker processes the holder fans its cells across
+    #: (1 for claim files written before the field existed).
+    workers: int = 1
     #: False when the claim file could not be parsed (e.g. observed
     #: mid-write); timestamps then come from the file's mtime.
     readable: bool = True
@@ -115,6 +118,10 @@ class ClaimStore:
         TTL stamped into claims this runner takes.  Staleness of a
         *foreign* claim is judged by the TTL recorded in that claim,
         so runners with different settings coexist.
+    workers:
+        Worker-process count stamped into claims this runner takes,
+        so ``grid status`` can show how much capacity each runner is
+        throwing at its cells.
     clock:
         Time source (injectable so tests can age leases instantly).
     """
@@ -124,10 +131,13 @@ class ClaimStore:
         root: Union[str, Path],
         runner_id: Optional[str] = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        workers: int = 1,
         clock: Callable[[], float] = time.time,
     ) -> None:
         if lease_ttl_s < 0:
             raise ValueError(f"lease_ttl_s must be >= 0, got {lease_ttl_s}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.root = Path(root)
         self.runner_id = runner_id if runner_id is not None else default_runner_id()
         if not self.runner_id or not set(self.runner_id) <= _RUNNER_ID_CHARS:
@@ -136,6 +146,7 @@ class ClaimStore:
                 "letters, digits, '.', '_', '-'"
             )
         self.lease_ttl_s = float(lease_ttl_s)
+        self.workers = int(workers)
         self.clock = clock
 
     @property
@@ -271,6 +282,7 @@ class ClaimStore:
                     "claimed_at": claimed_at,
                     "heartbeat_at": now,
                     "lease_ttl_s": self.lease_ttl_s,
+                    "workers": self.workers,
                 },
                 sort_keys=True,
             )
@@ -324,6 +336,7 @@ class ClaimStore:
                 claimed_at=float(doc["claimed_at"]),
                 heartbeat_at=float(doc["heartbeat_at"]),
                 lease_ttl_s=float(doc["lease_ttl_s"]),
+                workers=int(doc.get("workers", 1)),
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             # Torn or foreign-format claim: judge staleness by mtime,

@@ -39,8 +39,18 @@ SCHEMA_VERSION = 1
 
 
 def canonical_json(payload: Any) -> str:
-    """Minimal, key-sorted JSON — the hashing canonical form."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Minimal, key-sorted JSON — the hashing canonical form.
+
+    Strict (``allow_nan=False``): a NaN/Infinity smuggled into a key
+    payload would serialise as non-standard JSON tokens — and since
+    ``nan != nan``, two hashes of "the same" payload could disagree.
+    The grid layer rejects non-finite axis values before they get
+    here; this is the backstop that turns any leak into a loud
+    ``ValueError`` instead of a poisoned key.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def cell_key_payload(

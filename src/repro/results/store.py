@@ -156,15 +156,20 @@ class ResultStore:
     def put(self, key: str, document: Dict[str, Any]) -> Path:
         """Atomically persist ``document`` under ``key``.
 
-        The document is written to a temp file in the destination
+        The document is serialised first — strictly
+        (``allow_nan=False``), so a NaN/Infinity that slipped past the
+        producer raises here instead of writing JSON no strict parser
+        can read back — then written to a temp file in the destination
         directory and renamed into place, so concurrent readers (and a
-        crash mid-write) only ever observe complete documents.
+        crash mid-write) only ever observe complete documents and an
+        encoding error leaves no litter.
         """
+        encoded = json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         temporary = path.parent / f".{key}.{os.getpid()}.tmp"
         with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write(encoded)
             handle.write("\n")
         os.replace(temporary, path)
         return path

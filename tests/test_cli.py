@@ -285,6 +285,49 @@ class TestGridCommand:
         assert code == 2
         assert "--set expects" in text
 
+    @pytest.mark.parametrize("bad", ["NaN", "Infinity", "-Infinity", "1e999"])
+    def test_non_finite_set_value_fails_eagerly_naming_the_axis(
+        self, tmp_path, bad
+    ):
+        """--set field=NaN must die before any simulation runs: NaN
+        would poison the content-addressed keys (non-standard JSON
+        tokens) and nan != nan defeats duplicate detection."""
+        code, text = run_cli(
+            "grid", "run", "--store", str(tmp_path / "store"),
+            "--set", f"ttl={bad}", "--queries", "5",
+        )
+        assert code == 2
+        assert "ttl" in text
+        assert "config-override axis" in text
+        assert "non-finite" in text
+        assert not (tmp_path / "store").exists()  # nothing ran
+
+    def test_non_finite_scenario_parameter_is_a_clean_error(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run", "--store", str(tmp_path),
+            "--scenarios", "diurnal:amplitude=NaN", "--queries", "5",
+        )
+        assert code == 2
+        assert "amplitude" in text
+        assert "non-finite" in text
+
+    def test_grid_run_reports_worker_count(self, tmp_path):
+        code, text = run_cli(
+            "grid", "run",
+            "--store", str(tmp_path / "store"),
+            "--config", "small",
+            "--protocols", "flooding",
+            "--scenarios", "baseline",
+            "--seeds", "1",
+            "--queries", "10",
+            "--workers", "2",
+            "--runner-id", "wide-runner",
+        )
+        assert code == 0
+        assert "runner: wide-runner" in text
+        assert "workers 2" in text
+        assert "total=1 executed=1 cached=0" in text
+
     def test_spec_file_round_trip(self, tmp_path):
         import json as _json
 
@@ -405,7 +448,7 @@ class TestGridCommand:
             "--lease-ttl", "120",
         )
         assert code == 0
-        assert "runner: test-runner-1 (lease TTL 120s)" in text
+        assert "runner: test-runner-1 (lease TTL 120s, workers 1)" in text
 
     def test_bad_runner_id_is_a_clean_error(self, tmp_path):
         code, text = run_cli(
@@ -469,6 +512,27 @@ class TestGridStatusCommand:
         assert "total=2 stored=0 claimed=2 pending=0" in text
         assert "alive" in text and "live" in text
         assert "dead" in text and "stale" in text
+
+    def test_status_shows_each_claims_worker_count(self, tmp_path):
+        from repro.experiments import GridSpec, small_config
+        from repro.results import ClaimStore, ResultStore
+
+        store_dir = tmp_path / "store"
+        spec = GridSpec(
+            base_config=small_config(),
+            protocols=("flooding", "locaware"),
+            scenarios=("baseline",),
+            seeds=(1,),
+            max_queries=5,
+        )
+        wide = ClaimStore(
+            ResultStore(store_dir).root, runner_id="wide", workers=4
+        )
+        assert wide.try_claim(spec.cell_key(spec.expand()[0]))
+        code, text = run_cli("grid", "status", *self._axes(store_dir))
+        assert code == 0
+        assert "wide" in text
+        assert "workers 4" in text
 
     def test_status_orphan_claim_on_stored_cell_is_not_pending(
         self, tmp_path

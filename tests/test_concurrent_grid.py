@@ -6,8 +6,13 @@ store and spec must partition a 16-cell grid dynamically: every cell
 executed exactly once overall (``executed_A + executed_B == 16``, the
 rest cache hits), no claim files left behind, and the stored documents
 — and therefore the aggregate report — byte-identical to a serial
-single-runner run.  This is the in-repo twin of the ``grid-concurrent``
-CI job, which proves the same property through the CLI.
+single-runner run.  The whole class runs twice: once with serial
+runners and once with each runner fanning its claimed batches across
+``workers=2`` fork-shared-blueprint pools — N processes × M workers on
+one store must partition exactly the same way, because the commit
+protocol stays in each parent.  This is the in-repo twin of the
+``grid-concurrent`` CI job, which proves the same property through the
+CLI.
 """
 
 import json
@@ -42,11 +47,14 @@ def _spec() -> GridSpec:
     )
 
 
-def _runner_process(store_dir: Path, runner_id: str, out_path: Path) -> None:
+def _runner_process(
+    store_dir: Path, runner_id: str, out_path: Path, workers: int = 1
+) -> None:
     report = GridRunner(
         _spec(),
         store=ResultStore(store_dir),
         runner_id=runner_id,
+        workers=workers,
         poll_interval_s=0.02,
     ).run()
     out_path.write_text(
@@ -75,15 +83,23 @@ def _store_aggregate(store: ResultStore) -> str:
 
 
 class TestTwoConcurrentRunners:
-    @pytest.fixture(scope="class")
-    def outcome(self, tmp_path_factory):
-        tmp = tmp_path_factory.mktemp("concurrent")
+    @pytest.fixture(
+        scope="class", params=[1, 2], ids=["serial-runners", "workers-2"]
+    )
+    def outcome(self, request, tmp_path_factory):
+        workers = request.param
+        tmp = tmp_path_factory.mktemp(f"concurrent-w{workers}")
         shared = tmp / "shared"
         context = multiprocessing.get_context("fork")
         processes = [
             context.Process(
                 target=_runner_process,
-                args=(shared, f"runner-{tag}", tmp / f"report-{tag}.json"),
+                args=(
+                    shared,
+                    f"runner-{tag}",
+                    tmp / f"report-{tag}.json",
+                    workers,
+                ),
             )
             for tag in ("a", "b")
         ]

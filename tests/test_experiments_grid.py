@@ -515,3 +515,383 @@ class TestSeedSweepOnGridEngine:
         parallel = run_seed_sweep([11, 12], base=base, max_queries=30, workers=3)
         assert serial.claim_passes == parallel.claim_passes
         assert serial.traffic_reductions == parallel.traffic_reductions
+
+
+def _blueprint_probe(fingerprint):
+    """Top-level so pool workers can unpickle it: whether this worker's
+    cache already holds ``fingerprint``, and how many world builds this
+    process has ever performed (fork workers inherit the parent's
+    count, so any extra build shows up as a larger number)."""
+    from repro.experiments.grid import _BLUEPRINT_CACHE
+    from repro.overlay.blueprint import build_count
+
+    return fingerprint in _BLUEPRINT_CACHE, build_count()
+
+
+_fork_only = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="fork-shared blueprint substrate needs the fork start method",
+)
+
+
+class TestNonFiniteRejection:
+    """NaN/Infinity must fail eagerly with the axis named: they would
+    serialise as non-standard JSON tokens inside content-addressed key
+    payloads and stored documents, and nan != nan silently defeats the
+    duplicate-axis check."""
+
+    @pytest.mark.parametrize("text", ["NaN", "Infinity", "-Infinity", "1e999"])
+    def test_parse_scalar_rejects_non_finite(self, text):
+        from repro.experiments.grid import parse_scalar
+
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_scalar(text)
+
+    def test_parse_scalar_keeps_ordinary_coercion(self):
+        from repro.experiments.grid import parse_scalar
+
+        assert parse_scalar("0.3") == 0.3
+        assert parse_scalar("5") == 5
+        assert parse_scalar("true") is True
+        assert parse_scalar("router") == "router"
+        # Only JSON's own constants are special; this stays a string.
+        assert parse_scalar("nan") == "nan"
+
+    def test_strings_that_merely_start_with_a_constant_stay_strings(self):
+        """Regression guard on the fallback: 'NaN-sweep' is not valid
+        JSON, so it must coerce to the plain string it always was."""
+        from repro.experiments.grid import parse_scalar
+
+        for text in ("NaN-sweep", "NaNo", "Infinity-pool", "-Infinity2"):
+            assert parse_scalar(text) == text
+
+    def test_non_finite_error_is_a_value_error(self):
+        from repro.experiments.grid import NonFiniteValueError, parse_scalar
+
+        with pytest.raises(NonFiniteValueError):
+            parse_scalar("NaN")
+        assert issubclass(NonFiniteValueError, ValueError)
+
+    def test_config_override_axis_named(self):
+        with pytest.raises(
+            ValueError, match="non-finite.*'ttl'.*config-override axis"
+        ):
+            _spec(config_overrides=({"ttl": float("nan")},))
+
+    def test_scenario_parameter_named_in_cli_form(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            _spec(scenarios=("diurnal:amplitude=NaN",))
+
+    def test_scenario_parameter_named_in_programmatic_form(self):
+        with pytest.raises(
+            ValueError, match="non-finite.*amplitude.*scenario axis"
+        ):
+            _spec(scenarios=(("diurnal", {"amplitude": float("inf")}),))
+
+    @pytest.mark.parametrize("text", ["[1e999]", '{"a": [1e999]}'])
+    def test_nested_non_finite_rejected_by_parse_scalar(self, text):
+        """Overflow floats inside JSON composites must not slip past
+        the eager check to die as an opaque allow_nan error in key
+        hashing."""
+        from repro.experiments.grid import parse_scalar
+
+        with pytest.raises(ValueError, match="non-finite"):
+            parse_scalar(text)
+
+    def test_non_finite_base_config_field_named(self):
+        """A non-finite value in the base config itself must fail at
+        spec construction with the field named, not later as an opaque
+        allow_nan error inside key hashing."""
+        with pytest.raises(
+            ValueError, match="non-finite.*query_rate_per_peer.*base-config"
+        ):
+            _spec(
+                base_config=_base_config().replace(
+                    query_rate_per_peer=float("inf")
+                )
+            )
+
+    def test_nested_non_finite_named_on_the_axis(self):
+        with pytest.raises(
+            ValueError, match="non-finite.*amplitude.*scenario axis"
+        ):
+            _spec(scenarios=(("diurnal", {"amplitude": [float("inf")]}),))
+        with pytest.raises(
+            ValueError, match="non-finite.*'ttl'.*config-override axis"
+        ):
+            _spec(config_overrides=({"ttl": [float("nan")]},))
+
+
+class TestGridWorkerPool:
+    """The fork-shared substrate: blueprints built once in the parent
+    are inherited copy-on-write by pool workers — no per-task pickling
+    or per-worker rebuilds of the immutable world."""
+
+    GRID = dict(
+        protocols=("flooding", "locaware"),
+        scenarios=("baseline", "diurnal:amplitude=0.3"),
+        seeds=(1, 2),
+        max_queries=10,
+    )
+
+    def test_workers_validated(self):
+        from repro.experiments import GridWorkerPool
+
+        with pytest.raises(ValueError, match="workers"):
+            GridWorkerPool(0)
+
+    @_fork_only
+    def test_fork_workers_inherit_prebuilt_blueprints(self):
+        from repro.experiments import GridWorkerPool
+        from repro.experiments.grid import _BLUEPRINT_CACHE
+        from repro.overlay.blueprint import build_count
+
+        spec = _spec(**self.GRID)
+        _BLUEPRINT_CACHE.clear()
+        try:
+            configs = [spec.cell_build_config(cell) for cell in spec.expand()]
+            fingerprints = sorted(
+                {config.topology_fingerprint() for config in configs}
+            )
+            with GridWorkerPool(2, prebuild=configs) as pool:
+                assert pool.shares_parent_memory
+                assert pool.prebuilt == len(fingerprints)
+                parent_builds = build_count()
+                probes = pool.map(_blueprint_probe, fingerprints * 3)
+            assert all(inherited for inherited, _ in probes)
+            # Workers forked after the prewarm, so every build they
+            # know of happened in the parent — none of their own.
+            assert all(builds == parent_builds for _, builds in probes)
+        finally:
+            _BLUEPRINT_CACHE.clear()
+
+    @_fork_only
+    def test_store_run_with_workers_builds_once_per_fingerprint(self, tmp_path):
+        from repro.experiments.grid import _BLUEPRINT_CACHE
+        from repro.overlay.blueprint import build_count
+
+        spec = _spec(**self.GRID)
+        distinct = {
+            spec.cell_build_config(cell).topology_fingerprint()
+            for cell in spec.expand()
+        }
+        _BLUEPRINT_CACHE.clear()
+        try:
+            before = build_count()
+            report = GridRunner(
+                spec, workers=2, store=ResultStore(tmp_path)
+            ).run()
+            parent_builds = build_count() - before
+        finally:
+            _BLUEPRINT_CACHE.clear()
+        assert report.executed == spec.num_cells
+        # One build per distinct topology fingerprint, in the parent —
+        # not one per task, and nothing rebuilt inside the workers.
+        assert parent_builds == len(distinct)
+        assert len(distinct) < spec.num_cells
+
+    def test_parallel_store_run_byte_identical_to_serial(self, tmp_path):
+        spec = _spec(**self.GRID)
+        serial_store = ResultStore(tmp_path / "serial")
+        GridRunner(spec, store=serial_store).run()
+        parallel_store = ResultStore(tmp_path / "parallel")
+        report = GridRunner(spec, workers=2, store=parallel_store).run()
+        assert report.executed == spec.num_cells
+        assert set(parallel_store.keys()) == set(serial_store.keys())
+        for key in serial_store.keys():
+            assert (
+                parallel_store.path_for(key).read_bytes()
+                == serial_store.path_for(key).read_bytes()
+            ), f"cell {key[:12]} diverged between --workers 2 and serial"
+        # A warm re-run over the parallel store executes nothing.
+        warm = GridRunner(spec, workers=2, store=parallel_store).run()
+        assert (warm.executed, warm.cached) == (0, spec.num_cells)
+
+    def test_workers_recorded_in_this_runners_claims(self, tmp_path):
+        runner = GridRunner(
+            _spec(**self.GRID), workers=3, store=ResultStore(tmp_path)
+        )
+        assert runner.claims.workers == 3
+
+    def test_pool_creation_failure_releases_the_claims(
+        self, tmp_path, monkeypatch
+    ):
+        """Dying while forking the pool (which builds worlds in the
+        parent) must not strand the just-claimed batch until its lease
+        times out on other runners."""
+        from repro.experiments import grid as grid_module
+
+        store = ResultStore(tmp_path)
+        runner = GridRunner(
+            _spec(**self.GRID), workers=2, store=store, runner_id="doomed"
+        )
+
+        def exploding_pool(*args, **kwargs):
+            raise RuntimeError("no memory for worlds")
+
+        monkeypatch.setattr(grid_module, "GridWorkerPool", exploding_pool)
+        with pytest.raises(RuntimeError, match="no memory"):
+            runner.run()
+        assert list(runner.claims.claims()) == []
+        assert not list(runner.claims.directory.glob("*.claim"))
+        # A surviving runner picks the cells up immediately.
+        report = GridRunner(_spec(**self.GRID), store=store).run()
+        assert report.executed == report.num_cells
+
+    @_fork_only
+    def test_ephemeral_prewarm_is_capped_at_cache_capacity(self):
+        """A many-fingerprint sweep must not serialise every build in
+        the parent (workers would idle) nor outgrow the cache's fixed
+        bound: the parent prebuilds at most one capacity's worth and
+        workers build the rest lazily."""
+        from repro.experiments.grid import (
+            _BLUEPRINT_CACHE,
+            _BLUEPRINT_CACHE_CAPACITY,
+            execute_cells,
+        )
+        from repro.overlay.blueprint import build_count
+
+        spec = _spec(
+            protocols=("flooding",),
+            scenarios=("baseline",),
+            seeds=tuple(range(1, _BLUEPRINT_CACHE_CAPACITY + 4)),
+            max_queries=5,
+        )
+        _BLUEPRINT_CACHE.clear()
+        try:
+            before = build_count()
+            results = list(
+                execute_cells(
+                    spec, spec.expand(), workers=2, reuse_builds=True
+                )
+            )
+            parent_builds = build_count() - before
+            assert len(_BLUEPRINT_CACHE) <= _BLUEPRINT_CACHE_CAPACITY
+        finally:
+            _BLUEPRINT_CACHE.clear()
+        assert len(results) == spec.num_cells
+        assert parent_builds == _BLUEPRINT_CACHE_CAPACITY
+
+    def test_prewarm_keeps_cached_batch_members(self):
+        """prewarm must refresh the LRU position of fingerprints the
+        batch already has cached: inserting the batch's missing worlds
+        may only evict worlds *outside* the batch, or the freshly
+        forked workers would rebuild an evicted one per worker."""
+        from repro.overlay.blueprint import BlueprintCache
+
+        cache = BlueprintCache(capacity=2)
+        in_batch = small_config(seed=101)
+        outside = small_config(seed=102)
+        fresh = small_config(seed=103)
+        cache.get(in_batch)
+        cache.get(outside)  # in_batch is now LRU-oldest
+        built = cache.prewarm([in_batch, fresh])
+        assert built == 1  # only the missing world was built
+        assert in_batch.topology_fingerprint() in cache  # refreshed
+        assert fresh.topology_fingerprint() in cache
+        assert outside.topology_fingerprint() not in cache  # evicted
+
+
+class _SteppingClock:
+    """A manually advanced clock shared by a runner and its would-be thief."""
+
+    def __init__(self, start=1000.0):
+        self.value = start
+
+    def now(self):
+        return self.value
+
+    def advance(self, seconds):
+        self.value += seconds
+
+
+class TestInFlightHeartbeat:
+    """Regression: heartbeats used to fire only when a batch mate
+    *completed*, so a single cell running longer than the lease TTL
+    (including the first cell of any batch) went stale mid-execution
+    and a thief re-executed it concurrently.  The background ticker
+    must keep the in-flight claim live."""
+
+    def test_cell_outliving_the_ttl_is_not_stolen(self, tmp_path, monkeypatch):
+        import time as real_time
+
+        from repro.experiments import grid as grid_module
+        from repro.results import ClaimStore
+
+        store = ResultStore(tmp_path)
+        spec = _spec(
+            protocols=("flooding",), scenarios=("baseline",), seeds=(1,)
+        )
+        clock = _SteppingClock()
+        ttl = 60.0
+        runner = GridRunner(
+            spec,
+            store=store,
+            runner_id="slowpoke",
+            lease_ttl_s=ttl,
+            heartbeat_interval_s=0.01,
+            poll_interval_s=0.01,
+            clock=clock.now,
+        )
+        thief = ClaimStore(store.root, runner_id="thief", clock=clock.now)
+        key = spec.cell_key(spec.expand()[0])
+        attempts = []
+        original = grid_module._run_cell
+
+        def slow_run_cell(task):
+            # The cell "runs" for 3x the TTL of injected time.  Wait
+            # (real time, bounded) for the ticker to re-stamp the claim
+            # at the advanced clock, then let the thief try its luck.
+            clock.advance(3 * ttl)
+            deadline = real_time.time() + 10.0
+            while real_time.time() < deadline:
+                claim = thief.get(key)
+                if claim is not None and claim.heartbeat_at >= clock.now():
+                    break
+                real_time.sleep(0.005)
+            attempts.append(thief.try_claim(key))
+            return original(task)
+
+        monkeypatch.setattr(grid_module, "_run_cell", slow_run_cell)
+        report = runner.run()
+        # The claim stayed live despite the cell outliving its TTL, so
+        # the thief lost and the cell was executed exactly once, here.
+        assert attempts == [False]
+        assert (report.executed, report.cached) == (1, 0)
+        assert list(runner.claims.claims()) == []
+
+    def test_heartbeat_interval_defaults_to_a_quarter_ttl(self, tmp_path):
+        runner = GridRunner(
+            _spec(scenarios=("baseline",), seeds=(1,)),
+            store=ResultStore(tmp_path),
+            lease_ttl_s=100.0,
+        )
+        assert runner.heartbeat_interval_s == 25.0
+        with pytest.raises(ValueError, match="heartbeat_interval_s"):
+            GridRunner(
+                _spec(scenarios=("baseline",), seeds=(1,)),
+                store=ResultStore(tmp_path),
+                heartbeat_interval_s=0.0,
+            )
+
+    def test_release_is_atomic_with_the_ticker(self, tmp_path):
+        """A heartbeat landing after a release must not resurrect the
+        claim file: _HeartbeatTicker.release drops and releases under
+        the tick lock, so a completed grid leaves no claims behind even
+        at an aggressive heartbeat interval."""
+        store = ResultStore(tmp_path)
+        runner = GridRunner(
+            _spec(
+                protocols=("flooding", "locaware"),
+                scenarios=("baseline",),
+                seeds=(1, 2),
+            ),
+            store=store,
+            runner_id="ticking",
+            heartbeat_interval_s=0.001,
+            poll_interval_s=0.01,
+        )
+        report = runner.run()
+        assert report.executed == 4
+        assert list(runner.claims.claims()) == []
+        assert not list(runner.claims.directory.glob("*"))

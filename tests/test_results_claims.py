@@ -274,3 +274,44 @@ class TestClaimObject:
         assert claim.silence_s(160.0) == 10.0
         assert not claim.is_stale(180.0)
         assert claim.is_stale(181.0)
+
+
+class TestWorkerCount:
+    """Claims record how many worker processes the holder fans out to,
+    so ``grid status`` can show per-runner capacity."""
+
+    def test_workers_stamped_into_the_claim(self, tmp_path, clock):
+        ours = ClaimStore(
+            tmp_path, runner_id="wide", lease_ttl_s=60.0, workers=4, clock=clock
+        )
+        assert ours.try_claim(KEY_A)
+        claim = ours.get(KEY_A)
+        assert claim.workers == 4
+        payload = json.loads(ours.path_for(KEY_A).read_text())
+        assert payload["workers"] == 4
+
+    def test_heartbeat_preserves_workers(self, tmp_path, clock):
+        ours = ClaimStore(
+            tmp_path, runner_id="wide", lease_ttl_s=60.0, workers=3, clock=clock
+        )
+        assert ours.try_claim(KEY_A)
+        clock.advance(5)
+        assert ours.heartbeat(KEY_A)
+        assert ours.get(KEY_A).workers == 3
+
+    def test_pre_workers_claim_files_default_to_one(self, tmp_path, clock):
+        """A claim written before the field existed (PR 4) still loads."""
+        ours = _store(tmp_path, clock=clock)
+        assert ours.try_claim(KEY_A)
+        path = ours.path_for(KEY_A)
+        payload = json.loads(path.read_text())
+        del payload["workers"]
+        path.write_text(json.dumps(payload) + "\n")
+        claim = ours.get(KEY_A)
+        assert claim.readable is True
+        assert claim.workers == 1
+
+    def test_default_and_validation(self, tmp_path):
+        assert ClaimStore(tmp_path).workers == 1
+        with pytest.raises(ValueError, match="workers"):
+            ClaimStore(tmp_path, workers=0)

@@ -241,3 +241,24 @@ class TestCrashSafety:
 
     def test_quarantine_of_missing_file_returns_none(self, tmp_path):
         assert ResultStore(tmp_path).quarantine(KEY_A) is None
+
+
+class TestStrictJSON:
+    """Non-finite floats must not reach keys or stored documents: they
+    serialise as non-standard NaN/Infinity tokens (invalid JSON for
+    strict parsers) and nan != nan breaks key determinism."""
+
+    def test_canonical_json_rejects_non_finite(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                canonical_json({"x": bad})
+
+    def test_put_rejects_non_finite_and_leaves_no_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put(KEY_A, {"metric": float("nan")})
+        assert not store.has(KEY_A)
+        # The document is encoded before the temp file is opened, so a
+        # rejected put leaves nothing for clean_tmp to sweep.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(store) == 0

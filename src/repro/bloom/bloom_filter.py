@@ -11,14 +11,32 @@ values are drawn from a single BLAKE2b digest of the element, and the
 membership deterministic across processes and Python versions (the
 built-in ``hash()`` is salted per process, which would break
 reproducibility of routing decisions).
+
+Hot-path layout: the probe positions of an element depend only on
+``(element, bits, hashes)``, so they are memoised — one BLAKE2b per
+*distinct* keyword per filter geometry, not one per membership test.
+The bit vector itself is a single Python int (:class:`BloomFilter`), so
+an insert or a k-probe membership test is one mask OR/AND on a 1200-bit
+word instead of k byte-indexed loads, and union/compare are O(words).
+:class:`ByteBloomFilter` preserves the original bytearray layout for
+the substrate-equivalence suite.
 """
 
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Iterable, List, Tuple
 
-__all__ = ["element_positions", "BloomFilter"]
+__all__ = ["element_positions", "element_mask", "BloomFilter", "ByteBloomFilter"]
+
+
+@lru_cache(maxsize=None)
+def _positions_cached(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
+    digest = hashlib.blake2b(element.encode("utf-8"), digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full-period stride
+    return tuple((h1 + i * h2) % bits for i in range(hashes))
 
 
 def element_positions(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
@@ -26,16 +44,35 @@ def element_positions(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
 
     Exposed at module level because the plain and counting filters must
     agree on positions exactly (the counting filter exports a plain
-    bit-vector view of itself).
+    bit-vector view of itself).  Memoised: the keyword vocabulary of a
+    run is small and static, so each distinct ``(element, bits,
+    hashes)`` triple pays for its BLAKE2b digest once.
     """
     if bits <= 0:
         raise ValueError(f"bits must be positive, got {bits}")
     if hashes <= 0:
         raise ValueError(f"hashes must be positive, got {hashes}")
-    digest = hashlib.blake2b(element.encode("utf-8"), digest_size=16).digest()
-    h1 = int.from_bytes(digest[:8], "big")
-    h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full-period stride
-    return tuple((h1 + i * h2) % bits for i in range(hashes))
+    return _positions_cached(element, bits, hashes)
+
+
+@lru_cache(maxsize=None)
+def element_mask(element: str, bits: int, hashes: int) -> int:
+    """The element's probe positions as an OR-ready bit mask."""
+    mask = 0
+    for pos in element_positions(element, bits, hashes):
+        mask |= 1 << pos
+    return mask
+
+
+def positions_cache_info():
+    """Cache statistics for the memoised position function (for tests)."""
+    return _positions_cached.cache_info()
+
+
+def positions_cache_clear() -> None:
+    """Drop the memoised positions/masks (for tests)."""
+    _positions_cached.cache_clear()
+    element_mask.cache_clear()
 
 
 class BloomFilter:
@@ -46,9 +83,15 @@ class BloomFilter:
     delete (cache evictions) keep a :class:`~repro.bloom.counting.
     CountingBloomFilter` locally and export this plain form to
     neighbors.
+
+    The vector is one Python int, bit ``p`` of the integer being bit
+    position ``p`` of the filter; :meth:`to_bytes` serialises it
+    little-endian, which is byte-for-byte the layout of the original
+    bytearray implementation (bit ``p`` lives in byte ``p >> 3`` at
+    in-byte offset ``p & 7``).
     """
 
-    __slots__ = ("_bits", "_hashes", "_vector", "_inserted")
+    __slots__ = ("_bits", "_hashes", "_value", "_inserted")
 
     def __init__(self, bits: int, hashes: int) -> None:
         if bits <= 0:
@@ -57,15 +100,14 @@ class BloomFilter:
             raise ValueError(f"hashes must be positive, got {hashes}")
         self._bits = bits
         self._hashes = hashes
-        self._vector = bytearray((bits + 7) // 8)
+        self._value = 0
         self._inserted = 0
 
     # -- core operations ----------------------------------------------------
 
     def add(self, element: str) -> None:
         """Insert ``element``."""
-        for pos in element_positions(element, self._bits, self._hashes):
-            self._vector[pos >> 3] |= 1 << (pos & 7)
+        self._value |= element_mask(element, self._bits, self._hashes)
         self._inserted += 1
 
     def add_all(self, elements: Iterable[str]) -> None:
@@ -74,10 +116,8 @@ class BloomFilter:
             self.add(element)
 
     def __contains__(self, element: str) -> bool:
-        return all(
-            self._vector[pos >> 3] & (1 << (pos & 7))
-            for pos in element_positions(element, self._bits, self._hashes)
-        )
+        mask = element_mask(element, self._bits, self._hashes)
+        return self._value & mask == mask
 
     def contains_all(self, elements: Iterable[str]) -> bool:
         """Whether every element tests positive (the §4.2 query match rule)."""
@@ -85,8 +125,7 @@ class BloomFilter:
 
     def clear(self) -> None:
         """Reset to the empty filter."""
-        for i in range(len(self._vector)):
-            self._vector[i] = 0
+        self._value = 0
         self._inserted = 0
 
     # -- combination -----------------------------------------------------
@@ -94,8 +133,7 @@ class BloomFilter:
     def union_with(self, other: "BloomFilter") -> None:
         """In-place union; both filters must share (bits, hashes)."""
         self._check_compatible(other)
-        for i, byte in enumerate(other._vector):
-            self._vector[i] |= byte
+        self._value |= other.bit_int()
         self._inserted += other._inserted
 
     def _check_compatible(self, other: "BloomFilter") -> None:
@@ -124,7 +162,7 @@ class BloomFilter:
 
     def set_bit_count(self) -> int:
         """Number of 1 bits in the vector."""
-        return sum(byte.bit_count() for byte in self._vector)
+        return self._value.bit_count()
 
     def fill_fraction(self) -> float:
         """Fraction of bits set."""
@@ -133,45 +171,64 @@ class BloomFilter:
     def set_positions(self) -> List[int]:
         """Sorted positions of every set bit."""
         out: List[int] = []
-        for pos in range(self._bits):
-            if self._vector[pos >> 3] & (1 << (pos & 7)):
-                out.append(pos)
+        v = self._value
+        while v:
+            low = v & -v
+            out.append(low.bit_length() - 1)
+            v ^= low
         return out
 
     def get_bit(self, pos: int) -> bool:
         """Whether bit ``pos`` is set."""
         if not (0 <= pos < self._bits):
             raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
-        return bool(self._vector[pos >> 3] & (1 << (pos & 7)))
+        return bool((self._value >> pos) & 1)
 
     def set_bit(self, pos: int, value: bool) -> None:
         """Force bit ``pos`` to ``value`` (used when applying deltas)."""
         if not (0 <= pos < self._bits):
             raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
         if value:
-            self._vector[pos >> 3] |= 1 << (pos & 7)
+            self._value |= 1 << pos
         else:
-            self._vector[pos >> 3] &= ~(1 << (pos & 7))
+            self._value &= ~(1 << pos)
+
+    def bit_int(self) -> int:
+        """The bit vector as one int (bit ``p`` = filter position ``p``)."""
+        return self._value
 
     def to_bytes(self) -> bytes:
         """The raw bit vector (length ``ceil(bits / 8)``)."""
-        return bytes(self._vector)
+        return self._value.to_bytes((self._bits + 7) // 8, "little")
 
     @classmethod
     def from_bytes(cls, data: bytes, bits: int, hashes: int) -> "BloomFilter":
         """Rebuild a filter from :meth:`to_bytes` output."""
         bf = cls(bits, hashes)
-        if len(data) != len(bf._vector):
+        if len(data) != (bits + 7) // 8:
             raise ValueError(
-                f"expected {len(bf._vector)} bytes for a {bits}-bit filter, got {len(data)}"
+                f"expected {(bits + 7) // 8} bytes for a {bits}-bit filter, "
+                f"got {len(data)}"
             )
-        bf._vector = bytearray(data)
+        bf._value = int.from_bytes(data, "little")
+        return bf
+
+    @classmethod
+    def from_bit_int(cls, value: int, bits: int, hashes: int) -> "BloomFilter":
+        """Build a filter whose vector is ``value`` (one int, bit p = pos p).
+
+        The O(words) export path used by the counting filter; also
+        implemented by :class:`ByteBloomFilter`, so callers can stay
+        agnostic of the backend class.
+        """
+        bf = cls(bits, hashes)
+        bf._value = value
         return bf
 
     def copy(self) -> "BloomFilter":
         """An independent copy of this filter."""
         clone = BloomFilter(self._bits, self._hashes)
-        clone._vector = bytearray(self._vector)
+        clone._value = self._value
         clone._inserted = self._inserted
         return clone
 
@@ -181,11 +238,147 @@ class BloomFilter:
         return (
             self._bits == other._bits
             and self._hashes == other._hashes
-            and self._vector == other._vector
+            and self._value == other._value
         )
 
     def __repr__(self) -> str:
         return (
             f"BloomFilter(bits={self._bits}, hashes={self._hashes}, "
+            f"set={self.set_bit_count()})"
+        )
+
+
+class ByteBloomFilter:
+    """The original bytearray-backed filter, retained as a reference.
+
+    Same API and same serialised layout as :class:`BloomFilter`; used by
+    the substrate-equivalence suite to prove the int-backed vector
+    changes nothing observable.  Not used on any production path.
+    """
+
+    __slots__ = ("_bits", "_hashes", "_vector", "_inserted")
+
+    def __init__(self, bits: int, hashes: int) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        if hashes <= 0:
+            raise ValueError(f"hashes must be positive, got {hashes}")
+        self._bits = bits
+        self._hashes = hashes
+        self._vector = bytearray((bits + 7) // 8)
+        self._inserted = 0
+
+    def add(self, element: str) -> None:
+        for pos in element_positions(element, self._bits, self._hashes):
+            self._vector[pos >> 3] |= 1 << (pos & 7)
+        self._inserted += 1
+
+    def add_all(self, elements: Iterable[str]) -> None:
+        for element in elements:
+            self.add(element)
+
+    def __contains__(self, element: str) -> bool:
+        return all(
+            self._vector[pos >> 3] & (1 << (pos & 7))
+            for pos in element_positions(element, self._bits, self._hashes)
+        )
+
+    def contains_all(self, elements: Iterable[str]) -> bool:
+        return all(element in self for element in elements)
+
+    def clear(self) -> None:
+        for i in range(len(self._vector)):
+            self._vector[i] = 0
+        self._inserted = 0
+
+    def union_with(self, other: "ByteBloomFilter") -> None:
+        if self._bits != other._bits or self._hashes != other._hashes:
+            raise ValueError(
+                f"incompatible filters: ({self._bits}, {self._hashes}) vs "
+                f"({other._bits}, {other._hashes})"
+            )
+        for i, byte in enumerate(other._vector):
+            self._vector[i] |= byte
+        self._inserted += other._inserted
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def hashes(self) -> int:
+        return self._hashes
+
+    @property
+    def approximate_insertions(self) -> int:
+        return self._inserted
+
+    def set_bit_count(self) -> int:
+        return sum(byte.bit_count() for byte in self._vector)
+
+    def fill_fraction(self) -> float:
+        return self.set_bit_count() / self._bits
+
+    def set_positions(self) -> List[int]:
+        out: List[int] = []
+        for pos in range(self._bits):
+            if self._vector[pos >> 3] & (1 << (pos & 7)):
+                out.append(pos)
+        return out
+
+    def get_bit(self, pos: int) -> bool:
+        if not (0 <= pos < self._bits):
+            raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
+        return bool(self._vector[pos >> 3] & (1 << (pos & 7)))
+
+    def set_bit(self, pos: int, value: bool) -> None:
+        if not (0 <= pos < self._bits):
+            raise IndexError(f"bit position {pos} out of range [0, {self._bits})")
+        if value:
+            self._vector[pos >> 3] |= 1 << (pos & 7)
+        else:
+            self._vector[pos >> 3] &= ~(1 << (pos & 7))
+
+    def bit_int(self) -> int:
+        return int.from_bytes(bytes(self._vector), "little")
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._vector)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> "ByteBloomFilter":
+        bf = cls(bits, hashes)
+        if len(data) != len(bf._vector):
+            raise ValueError(
+                f"expected {len(bf._vector)} bytes for a {bits}-bit filter, "
+                f"got {len(data)}"
+            )
+        bf._vector = bytearray(data)
+        return bf
+
+    @classmethod
+    def from_bit_int(cls, value: int, bits: int, hashes: int) -> "ByteBloomFilter":
+        bf = cls(bits, hashes)
+        bf._vector = bytearray(value.to_bytes((bits + 7) // 8, "little"))
+        return bf
+
+    def copy(self) -> "ByteBloomFilter":
+        clone = ByteBloomFilter(self._bits, self._hashes)
+        clone._vector = bytearray(self._vector)
+        clone._inserted = self._inserted
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ByteBloomFilter):
+            return NotImplemented
+        return (
+            self._bits == other._bits
+            and self._hashes == other._hashes
+            and self._vector == other._vector
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ByteBloomFilter(bits={self._bits}, hashes={self._hashes}, "
             f"set={self.set_bit_count()})"
         )

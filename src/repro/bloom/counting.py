@@ -15,6 +15,7 @@ its counter is non-zero — which is what travels to neighbors.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List
 
 from .bloom_filter import BloomFilter, element_positions
@@ -23,9 +24,16 @@ __all__ = ["CountingBloomFilter"]
 
 
 class CountingBloomFilter:
-    """Bloom filter with per-position counters (supports remove)."""
+    """Bloom filter with per-position counters (supports remove).
 
-    __slots__ = ("_bits", "_hashes", "_counters", "_elements")
+    Counters live in a compact ``array('H')`` (65535 is far beyond the
+    4-bit regime real deployments assume), and the exported bit vector
+    — bit set iff counter non-zero — is maintained incrementally as one
+    int, so :meth:`to_bloom_filter` is O(words) instead of an O(bits)
+    counter scan per neighbor push.
+    """
+
+    __slots__ = ("_bits", "_hashes", "_counters", "_elements", "_bitvec")
 
     def __init__(self, bits: int, hashes: int) -> None:
         if bits <= 0:
@@ -34,7 +42,8 @@ class CountingBloomFilter:
             raise ValueError(f"hashes must be positive, got {hashes}")
         self._bits = bits
         self._hashes = hashes
-        self._counters = [0] * bits
+        self._counters = array("H", bytes(2 * bits))
+        self._bitvec = 0
         # Multiset of inserted elements: removal of a never-inserted (or
         # already fully removed) element must be rejected, otherwise the
         # counters would underflow and membership would break.
@@ -62,8 +71,11 @@ class CountingBloomFilter:
 
     def add(self, element: str) -> None:
         """Insert ``element`` (multiset semantics: repeats stack)."""
+        counters = self._counters
         for pos in element_positions(element, self._bits, self._hashes):
-            self._counters[pos] += 1
+            if counters[pos] == 0:
+                self._bitvec |= 1 << pos
+            counters[pos] += 1
         self._elements[element] = self._elements.get(element, 0) + 1
 
     def add_all(self, elements: Iterable[str]) -> None:
@@ -81,8 +93,11 @@ class CountingBloomFilter:
         count = self._elements.get(element, 0)
         if count == 0:
             raise KeyError(f"cannot remove absent element {element!r}")
+        counters = self._counters
         for pos in element_positions(element, self._bits, self._hashes):
-            self._counters[pos] -= 1
+            counters[pos] -= 1
+            if counters[pos] == 0:
+                self._bitvec &= ~(1 << pos)
         if count == 1:
             del self._elements[element]
         else:
@@ -96,8 +111,9 @@ class CountingBloomFilter:
         return True
 
     def __contains__(self, element: str) -> bool:
+        bitvec = self._bitvec
         return all(
-            self._counters[pos] > 0
+            (bitvec >> pos) & 1
             for pos in element_positions(element, self._bits, self._hashes)
         )
 
@@ -107,7 +123,8 @@ class CountingBloomFilter:
 
     def clear(self) -> None:
         """Reset to empty."""
-        self._counters = [0] * self._bits
+        self._counters = array("H", bytes(2 * self._bits))
+        self._bitvec = 0
         self._elements.clear()
 
     def max_counter(self) -> int:
@@ -116,16 +133,22 @@ class CountingBloomFilter:
         return max(self._counters) if self._counters else 0
 
     def to_bloom_filter(self) -> BloomFilter:
-        """Export the plain bit-vector view (what neighbors receive)."""
-        bf = BloomFilter(self._bits, self._hashes)
-        for pos, counter in enumerate(self._counters):
-            if counter > 0:
-                bf.set_bit(pos, True)
-        return bf
+        """Export the plain bit-vector view (what neighbors receive).
+
+        O(words): the exported vector is maintained incrementally, so
+        the per-push-period counter scan is gone.
+        """
+        return BloomFilter.from_bit_int(self._bitvec, self._bits, self._hashes)
 
     def set_positions(self) -> List[int]:
         """Sorted positions with non-zero counters."""
-        return [pos for pos, c in enumerate(self._counters) if c > 0]
+        out: List[int] = []
+        v = self._bitvec
+        while v:
+            low = v & -v
+            out.append(low.bit_length() - 1)
+            v ^= low
+        return out
 
     def __repr__(self) -> str:
         return (

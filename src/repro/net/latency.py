@@ -27,11 +27,15 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import List, Optional, Tuple
+from array import array
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .coordinates import UNIT_SQUARE_DIAMETER, Point
 
 __all__ = ["LatencyModel", "EuclideanLatencyModel", "RouterLevelLatencyModel"]
+
+#: Fast pairwise latency over peer *indices*, produced by ``bind``.
+PairLatency = Callable[[int, int], float]
 
 
 class LatencyModel:
@@ -44,6 +48,25 @@ class LatencyModel:
     def rtt_ms(self, a: Point, b: Point) -> float:
         """Round-trip time between ``a`` and ``b`` (symmetric links)."""
         return 2.0 * self.latency_ms(a, b)
+
+    def bind(self, positions: Sequence[Point]) -> PairLatency:
+        """A fast ``(peer_a, peer_b) -> latency_ms`` closure for a fixed
+        peer placement.
+
+        This is the per-message hot path: models override it to hoist
+        whatever per-call work can be precomputed for a static underlay
+        (coordinate unpacking, nearest-router attachment).  Every
+        override must return *bit-identical* floats to
+        ``latency_ms(positions[a], positions[b])`` — the substrate-
+        equivalence suite holds them to that.
+        """
+        frozen = list(positions)
+        latency_ms = self.latency_ms
+
+        def pair_latency(a: int, b: int) -> float:
+            return latency_ms(frozen[a], frozen[b])
+
+        return pair_latency
 
 
 class EuclideanLatencyModel(LatencyModel):
@@ -70,6 +93,23 @@ class EuclideanLatencyModel(LatencyModel):
     def latency_ms(self, a: Point, b: Point) -> float:
         distance = a.distance_to(b)
         return self.min_latency_ms + self._span * (distance / UNIT_SQUARE_DIAMETER)
+
+    def bind(self, positions: Sequence[Point]) -> "PairLatency":
+        # Flat coordinate arrays kill the per-call Point attribute
+        # chasing; the arithmetic is the exact scalar expression of
+        # latency_ms (hypot + affine), so the floats are bit-identical.
+        xs = array("d", (p.x for p in positions))
+        ys = array("d", (p.y for p in positions))
+        min_latency = self.min_latency_ms
+        span = self._span
+        hypot = math.hypot
+
+        def pair_latency(a: int, b: int) -> float:
+            return min_latency + span * (
+                hypot(xs[a] - xs[b], ys[a] - ys[b]) / UNIT_SQUARE_DIAMETER
+            )
+
+        return pair_latency
 
 
 class RouterLevelLatencyModel(LatencyModel):
@@ -235,6 +275,22 @@ class RouterLevelLatencyModel(LatencyModel):
         rb = self.nearest_router(b)
         backbone = self._dist[ra][rb]
         return self.min_latency_ms + 2.0 * self.last_mile_ms + backbone
+
+    def bind(self, positions: Sequence[Point]) -> "PairLatency":
+        # Peer -> nearest-router attachment is static, so pay the O(R)
+        # scan once per peer here instead of twice per message; the
+        # backbone table flattens to one float array indexed ra*R+rb.
+        # min + 2*last_mile is left-associated first in latency_ms, so
+        # precomputing it keeps the sum bit-identical.
+        router_of = array("q", (self.nearest_router(p) for p in positions))
+        n = len(self._routers)
+        flat = array("d", (d for row in self._dist for d in row))
+        base = self.min_latency_ms + 2.0 * self.last_mile_ms
+
+        def pair_latency(a: int, b: int) -> float:
+            return base + flat[router_of[a] * n + router_of[b]]
+
+        return pair_latency
 
     @property
     def num_routers(self) -> int:

@@ -9,26 +9,164 @@ component with one random edge, so queries are not artificially
 partitioned away from their results (PeerSim's wiring protocols do the
 same).
 
-The graph is mutable — churn adds and removes peers at runtime — and
-maintains degree bookkeeping so protocols can ask for the
-"highly connected neighbor" fallback of §4.2 in O(neighbors).
+Two interchangeable representations implement one explicit contract:
+
+- :class:`OverlayGraph` (the default) keeps the pristine wiring in a
+  CSR-style pair of flat int arrays (``indptr``/``indices``) with a
+  copy-on-write per-row overlay for churn mutations.  Neighbor reads on
+  the per-message hot path are O(degree) array slices with no object
+  chasing, ``copy()`` (one per blueprint instantiation) is a pair of
+  C-level ``memcpy``s, and re-joins draw candidates from an
+  incrementally maintained sorted id list instead of re-sorting the
+  whole population (the old ``sorted(adjacency)`` was O(n log n) per
+  join).
+
+- :class:`DictOverlayGraph` is the dict-backed reference
+  implementation retained for the substrate-equivalence suite
+  (``tests/test_substrate_equivalence.py``): same construction RNG
+  draws, same mutation semantics, byte-identical neighbor orders.
+
+**Neighbor iteration order is part of the contract**: rows iterate in
+edge *insertion* order (construction order; churn re-joins append).
+Both backends guarantee it, which is what makes runs on either backend
+byte-identical — the previous ``Set[int]`` rows iterated in hash-table
+order, an implementation accident no representation can reproduce.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set
+from array import array
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Sequence, Set
 
-__all__ = ["OverlayGraph"]
+__all__ = ["OverlayGraph", "DictOverlayGraph"]
+
+
+def _random_rows(
+    num_peers: int,
+    mean_degree: float,
+    rng: random.Random,
+    connect_components: bool,
+) -> List[List[int]]:
+    """Shared G(n, M) construction: insertion-ordered adjacency rows.
+
+    Both graph backends build from this helper so they consume the RNG
+    identically and freeze identical rows.
+    """
+    if num_peers < 2:
+        raise ValueError(f"need at least 2 peers, got {num_peers}")
+    if mean_degree <= 0 or mean_degree >= num_peers:
+        raise ValueError(
+            f"mean_degree must be in (0, num_peers), got {mean_degree}"
+        )
+    # G(n, M) variant: exactly round(n * d / 2) distinct edges, which
+    # pins the realised mean degree to the target.
+    target_edges = round(num_peers * mean_degree / 2.0)
+    max_edges = num_peers * (num_peers - 1) // 2
+    target_edges = min(target_edges, max_edges)
+    rows: List[List[int]] = [[] for _ in range(num_peers)]
+    membership: List[Set[int]] = [set() for _ in range(num_peers)]
+
+    def add_edge(a: int, b: int) -> None:
+        rows[a].append(b)
+        rows[b].append(a)
+        membership[a].add(b)
+        membership[b].add(a)
+
+    if 2 * target_edges > max_edges:
+        # Dense regime: the rejection loop's accept probability tends
+        # to zero as target_edges approaches max_edges (near-livelock
+        # at mean_degree ≈ num_peers - 1), so sample the edge set
+        # directly from the space of all possible edges instead.
+        all_pairs = [
+            (a, b) for a in range(num_peers) for b in range(a + 1, num_peers)
+        ]
+        for a, b in rng.sample(all_pairs, target_edges):
+            add_edge(a, b)
+    else:
+        added = 0
+        while added < target_edges:
+            a = rng.randrange(num_peers)
+            b = rng.randrange(num_peers)
+            if a == b or b in membership[a]:
+                continue
+            add_edge(a, b)
+            added += 1
+    if connect_components:
+        _connect_rows(rows, membership, rng)
+    return rows
+
+
+def _connect_rows(
+    rows: List[List[int]], membership: List[Set[int]], rng: random.Random
+) -> None:
+    """Link every component into the giant one with one random edge."""
+    components = _components_of_rows(rows)
+    if len(components) <= 1:
+        return
+    components.sort(key=len, reverse=True)
+    giant_list = sorted(components[0])
+    for component in components[1:]:
+        a = rng.choice(sorted(component))
+        b = rng.choice(giant_list)
+        rows[a].append(b)
+        rows[b].append(a)
+        membership[a].add(b)
+        membership[b].add(a)
+
+
+def _components_of_rows(rows: List[List[int]]) -> List[Set[int]]:
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in range(len(rows)):
+        if start in seen:
+            continue
+        stack = [start]
+        component = {start}
+        seen.add(start)
+        while stack:
+            u = stack.pop()
+            for v in rows[u]:
+                if v not in component:
+                    component.add(v)
+                    seen.add(v)
+                    stack.append(v)
+        components.append(component)
+    return components
 
 
 class OverlayGraph:
-    """An undirected overlay graph over integer peer ids."""
+    """An undirected overlay graph over integer peer ids (CSR-backed).
+
+    The pristine wiring lives in two flat int arrays (``_indptr``,
+    ``_indices``); churn promotes individual rows into ``_mutated``
+    copy-on-write arrays.  Neighbor rows iterate in insertion order.
+    """
+
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_mutated",
+        "_present",
+        "_present_sorted",
+        "_num_present",
+        "_num_edges",
+    )
+
+    #: array typecode for neighbor ids — signed 8-byte, plenty for 10⁹ peers.
+    _TYPECODE = "q"
 
     def __init__(self, num_peers: int) -> None:
         if num_peers < 0:
             raise ValueError(f"num_peers must be non-negative, got {num_peers}")
-        self._adjacency: Dict[int, Set[int]] = {pid: set() for pid in range(num_peers)}
+        self._indptr = array(self._TYPECODE, bytes(8 * (num_peers + 1)))
+        self._indices = array(self._TYPECODE)
+        self._mutated: Dict[int, array] = {}
+        self._present = bytearray(b"\x01" * num_peers)
+        self._present_sorted: Optional[List[int]] = None
+        self._num_present = num_peers
+        self._num_edges = 0
 
     # -- construction ----------------------------------------------------
 
@@ -41,94 +179,126 @@ class OverlayGraph:
         connect_components: bool = True,
     ) -> "OverlayGraph":
         """Build the paper's random overlay with the target mean degree."""
-        if num_peers < 2:
-            raise ValueError(f"need at least 2 peers, got {num_peers}")
-        if mean_degree <= 0 or mean_degree >= num_peers:
-            raise ValueError(
-                f"mean_degree must be in (0, num_peers), got {mean_degree}"
-            )
+        rows = _random_rows(num_peers, mean_degree, rng, connect_components)
         graph = cls(num_peers)
-        # G(n, M) variant: exactly round(n * d / 2) distinct edges, which
-        # pins the realised mean degree to the target.
-        target_edges = round(num_peers * mean_degree / 2.0)
-        max_edges = num_peers * (num_peers - 1) // 2
-        target_edges = min(target_edges, max_edges)
-        added = 0
-        while added < target_edges:
-            a = rng.randrange(num_peers)
-            b = rng.randrange(num_peers)
-            if a == b or b in graph._adjacency[a]:
-                continue
-            graph._add_edge(a, b)
-            added += 1
-        if connect_components:
-            graph._connect_components(rng)
+        graph._freeze_rows(rows)
         return graph
+
+    def _freeze_rows(self, rows: Sequence[Sequence[int]]) -> None:
+        """Load insertion-ordered rows into the CSR base arrays."""
+        indptr = array(self._TYPECODE, [0] * (len(rows) + 1))
+        indices = array(self._TYPECODE)
+        total = 0
+        for pid, row in enumerate(rows):
+            indices.extend(row)
+            total += len(row)
+            indptr[pid + 1] = total
+        self._indptr = indptr
+        self._indices = indices
+        self._num_edges = total // 2
 
     def copy(self) -> "OverlayGraph":
         """An independent deep copy of the current wiring.
 
         The overlay is mutated at run time (churn tears down and
         rebuilds links), so a cached blueprint hands every
-        instantiation its own copy of the pristine graph.
+        instantiation its own copy of the pristine graph.  Copying the
+        CSR base is two C-level array copies.
         """
         clone = OverlayGraph(0)
-        clone._adjacency = {pid: set(links) for pid, links in self._adjacency.items()}
+        clone._indptr = self._indptr[:]
+        clone._indices = self._indices[:]
+        clone._mutated = {pid: row[:] for pid, row in self._mutated.items()}
+        clone._present = bytearray(self._present)
+        clone._present_sorted = None
+        clone._num_present = self._num_present
+        clone._num_edges = self._num_edges
         return clone
 
-    def _add_edge(self, a: int, b: int) -> None:
-        self._adjacency[a].add(b)
-        self._adjacency[b].add(a)
+    # -- row access -------------------------------------------------------
 
-    def _connect_components(self, rng: random.Random) -> None:
-        components = self.components()
-        if len(components) <= 1:
+    def _base_row(self, peer_id: int) -> array:
+        start = self._indptr[peer_id]
+        return self._indices[start : self._indptr[peer_id + 1]]
+
+    def _row_mut(self, peer_id: int) -> array:
+        """The peer's mutable row, promoting the CSR base row on demand."""
+        row = self._mutated.get(peer_id)
+        if row is None:
+            if not self.contains(peer_id):
+                raise KeyError(f"peer {peer_id} not in the overlay")
+            row = self._base_row(peer_id)
+            self._mutated[peer_id] = row
+        return row
+
+    def _add_edge(self, a: int, b: int) -> None:
+        row_a = self._row_mut(a)
+        if b in row_a:
             return
-        components.sort(key=len, reverse=True)
-        giant = components[0]
-        giant_list = sorted(giant)
-        for component in components[1:]:
-            a = rng.choice(sorted(component))
-            b = rng.choice(giant_list)
-            self._add_edge(a, b)
+        row_a.append(b)
+        self._row_mut(b).append(a)
+        self._num_edges += 1
 
     # -- queries -----------------------------------------------------------
 
     @property
     def num_peers(self) -> int:
         """Number of peers currently in the graph."""
-        return len(self._adjacency)
+        return self._num_present
 
     @property
     def num_edges(self) -> int:
         """Number of undirected edges."""
-        return sum(len(n) for n in self._adjacency.values()) // 2
+        return self._num_edges
 
     def peers(self) -> List[int]:
         """All peer ids, sorted."""
-        return sorted(self._adjacency)
+        return list(self._sorted_present())
+
+    def _sorted_present(self) -> List[int]:
+        """The (cached) ascending list of present peer ids.
+
+        Maintained incrementally by :meth:`add_peer`/:meth:`remove_peer`
+        so a churn re-join no longer re-sorts the whole population."""
+        if self._present_sorted is None:
+            present = self._present
+            self._present_sorted = [i for i in range(len(present)) if present[i]]
+        return self._present_sorted
 
     def contains(self, peer_id: int) -> bool:
         """Whether ``peer_id`` is currently in the graph."""
-        return peer_id in self._adjacency
+        return 0 <= peer_id < len(self._present) and bool(self._present[peer_id])
 
     def neighbors(self, peer_id: int) -> Set[int]:
-        """A copy of ``peer_id``'s neighbor set."""
-        return set(self._adjacency[peer_id])
+        """A copy of ``peer_id``'s neighbors as a set."""
+        return set(self.neighbors_view(peer_id))
 
-    def neighbors_view(self, peer_id: int) -> Set[int]:
-        """The *live* neighbor set (do not mutate); avoids copies on hot paths."""
-        return self._adjacency[peer_id]
+    def neighbors_view(self, peer_id: int) -> Sequence[int]:
+        """The neighbor row in insertion order (do not mutate).
+
+        The hot-path read: an O(degree) int-array slice, no per-entry
+        object allocation."""
+        row = self._mutated.get(peer_id)
+        if row is not None:
+            return row
+        if not self.contains(peer_id):
+            raise KeyError(f"peer {peer_id} not in the overlay")
+        return self._base_row(peer_id)
 
     def degree(self, peer_id: int) -> int:
         """Number of neighbors of ``peer_id``."""
-        return len(self._adjacency[peer_id])
+        row = self._mutated.get(peer_id)
+        if row is not None:
+            return len(row)
+        if not self.contains(peer_id):
+            raise KeyError(f"peer {peer_id} not in the overlay")
+        return self._indptr[peer_id + 1] - self._indptr[peer_id]
 
     def mean_degree(self) -> float:
         """Realised average degree."""
-        if not self._adjacency:
+        if not self._num_present:
             return 0.0
-        return 2.0 * self.num_edges / len(self._adjacency)
+        return 2.0 * self._num_edges / self._num_present
 
     def highest_degree_neighbor(self, peer_id: int) -> Optional[int]:
         """The §4.2 'highly connected neighbor' fallback target.
@@ -138,8 +308,8 @@ class OverlayGraph:
         """
         best: Optional[int] = None
         best_degree = -1
-        for neighbor in sorted(self._adjacency[peer_id]):
-            d = len(self._adjacency[neighbor])
+        for neighbor in sorted(self.neighbors_view(peer_id)):
+            d = self.degree(neighbor)
             if d > best_degree:
                 best = neighbor
                 best_degree = d
@@ -149,7 +319,7 @@ class OverlayGraph:
         """Connected components as peer-id sets."""
         seen: Set[int] = set()
         components: List[Set[int]] = []
-        for start in self._adjacency:
+        for start in self._sorted_present():
             if start in seen:
                 continue
             stack = [start]
@@ -157,7 +327,7 @@ class OverlayGraph:
             seen.add(start)
             while stack:
                 u = stack.pop()
-                for v in self._adjacency[u]:
+                for v in self.neighbors_view(u):
                     if v not in component:
                         component.add(v)
                         seen.add(v)
@@ -177,10 +347,164 @@ class OverlayGraph:
         Returns the chosen neighbor ids.  Joining an existing id is an
         error; pick ids with :meth:`contains` first.
         """
+        if self.contains(peer_id):
+            raise ValueError(f"peer {peer_id} already in the overlay")
+        candidates = self._sorted_present()
+        if peer_id >= len(self._present):
+            self._present.extend(bytes(peer_id + 1 - len(self._present)))
+        self._present[peer_id] = 1
+        self._num_present += 1
+        self._mutated[peer_id] = array(self._TYPECODE)
+        if not candidates:
+            self._present_sorted = None
+            return []
+        chosen = rng.sample(candidates, min(num_links, len(candidates)))
+        insort(candidates, peer_id)  # after sampling: a peer never links itself
+        for neighbor in chosen:
+            self._add_edge(peer_id, neighbor)
+        return chosen
+
+    def remove_peer(self, peer_id: int) -> Set[int]:
+        """Remove ``peer_id`` and its links; returns its former neighbors."""
+        if not self.contains(peer_id):
+            raise KeyError(f"peer {peer_id} not in the overlay")
+        row = self._mutated.pop(peer_id, None)
+        if row is None:
+            row = self._base_row(peer_id)
+        for neighbor in row:
+            self._row_mut(neighbor).remove(peer_id)
+        self._present[peer_id] = 0
+        self._num_present -= 1
+        self._num_edges -= len(row)
+        if self._present_sorted is not None:
+            del self._present_sorted[bisect_index(self._present_sorted, peer_id)]
+        return set(row)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map degree -> number of peers with that degree."""
+        histogram: Dict[int, int] = {}
+        for pid in self._sorted_present():
+            d = self.degree(pid)
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram
+
+
+def bisect_index(sorted_list: List[int], value: int) -> int:
+    """Index of ``value`` in a sorted list (the caller guarantees presence)."""
+    index = bisect_left(sorted_list, value)
+    if index >= len(sorted_list) or sorted_list[index] != value:
+        raise ValueError(f"{value} not present")
+    return index
+
+
+class DictOverlayGraph:
+    """Dict-backed reference implementation of the overlay contract.
+
+    Semantically identical to :class:`OverlayGraph` — same construction
+    RNG draws, same insertion-ordered neighbor rows (``Dict[int, None]``
+    rows preserve insertion order), same mutation rules — but with the
+    per-peer object layout of the original implementation.  Kept so the
+    substrate-equivalence suite can prove the array refactor changes
+    nothing observable; not used on any production path.
+    """
+
+    def __init__(self, num_peers: int) -> None:
+        if num_peers < 0:
+            raise ValueError(f"num_peers must be non-negative, got {num_peers}")
+        self._adjacency: Dict[int, Dict[int, None]] = {
+            pid: {} for pid in range(num_peers)
+        }
+
+    @classmethod
+    def random(
+        cls,
+        num_peers: int,
+        mean_degree: float,
+        rng: random.Random,
+        connect_components: bool = True,
+    ) -> "DictOverlayGraph":
+        rows = _random_rows(num_peers, mean_degree, rng, connect_components)
+        graph = cls(num_peers)
+        for pid, row in enumerate(rows):
+            graph._adjacency[pid] = dict.fromkeys(row)
+        return graph
+
+    def copy(self) -> "DictOverlayGraph":
+        clone = DictOverlayGraph(0)
+        clone._adjacency = {pid: dict(row) for pid, row in self._adjacency.items()}
+        return clone
+
+    def _add_edge(self, a: int, b: int) -> None:
+        if b in self._adjacency[a]:
+            return
+        self._adjacency[a][b] = None
+        self._adjacency[b][a] = None
+
+    @property
+    def num_peers(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(row) for row in self._adjacency.values()) // 2
+
+    def peers(self) -> List[int]:
+        return sorted(self._adjacency)
+
+    def contains(self, peer_id: int) -> bool:
+        return peer_id in self._adjacency
+
+    def neighbors(self, peer_id: int) -> Set[int]:
+        return set(self._adjacency[peer_id])
+
+    def neighbors_view(self, peer_id: int) -> Sequence[int]:
+        return list(self._adjacency[peer_id])
+
+    def degree(self, peer_id: int) -> int:
+        return len(self._adjacency[peer_id])
+
+    def mean_degree(self) -> float:
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self.num_edges / len(self._adjacency)
+
+    def highest_degree_neighbor(self, peer_id: int) -> Optional[int]:
+        best: Optional[int] = None
+        best_degree = -1
+        for neighbor in sorted(self._adjacency[peer_id]):
+            d = len(self._adjacency[neighbor])
+            if d > best_degree:
+                best = neighbor
+                best_degree = d
+        return best
+
+    def components(self) -> List[Set[int]]:
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in sorted(self._adjacency):
+            if start in seen:
+                continue
+            stack = [start]
+            component = {start}
+            seen.add(start)
+            while stack:
+                u = stack.pop()
+                for v in self._adjacency[u]:
+                    if v not in component:
+                        component.add(v)
+                        seen.add(v)
+                        stack.append(v)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.components()) <= 1
+
+    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> List[int]:
         if peer_id in self._adjacency:
             raise ValueError(f"peer {peer_id} already in the overlay")
         candidates = sorted(self._adjacency)
-        self._adjacency[peer_id] = set()
+        self._adjacency[peer_id] = {}
         if not candidates:
             return []
         chosen = rng.sample(candidates, min(num_links, len(candidates)))
@@ -189,18 +513,16 @@ class OverlayGraph:
         return chosen
 
     def remove_peer(self, peer_id: int) -> Set[int]:
-        """Remove ``peer_id`` and its links; returns its former neighbors."""
-        neighbors = self._adjacency.pop(peer_id, None)
-        if neighbors is None:
+        row = self._adjacency.pop(peer_id, None)
+        if row is None:
             raise KeyError(f"peer {peer_id} not in the overlay")
-        for neighbor in neighbors:
-            self._adjacency[neighbor].discard(peer_id)
-        return neighbors
+        for neighbor in row:
+            self._adjacency[neighbor].pop(peer_id, None)
+        return set(row)
 
     def degree_histogram(self) -> Dict[int, int]:
-        """Map degree -> number of peers with that degree."""
         histogram: Dict[int, int] = {}
-        for neighbors in self._adjacency.values():
-            d = len(neighbors)
+        for row in self._adjacency.values():
+            d = len(row)
             histogram[d] = histogram.get(d, 0) + 1
         return histogram

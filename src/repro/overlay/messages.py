@@ -18,7 +18,7 @@ and allocated by the protocol engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..bloom.delta import BloomDelta
@@ -73,8 +73,21 @@ class Query:
     path: Tuple[int, ...]
 
     def forwarded(self, via: int) -> "Query":
-        """The copy of this query that ``via`` forwards onward."""
-        return replace(self, ttl=self.ttl - 1, path=self.path + (via,))
+        """The copy of this query that ``via`` forwards onward.
+
+        Built directly rather than via ``dataclasses.replace`` — this
+        runs once per hop and ``replace`` costs a fields() walk plus a
+        kwargs dict on every call.
+        """
+        return Query(
+            self.query_id,
+            self.origin,
+            self.origin_locid,
+            self.keywords,
+            self.target_file,
+            self.ttl - 1,
+            self.path + (via,),
+        )
 
     @property
     def last_hop(self) -> int:
@@ -119,7 +132,17 @@ class QueryResponse:
 
     def advanced(self) -> "QueryResponse":
         """The copy of this response after one reverse-path hop."""
-        return replace(self, reverse_path=self.reverse_path[1:])
+        return QueryResponse(
+            self.query_id,
+            self.origin,
+            self.origin_locid,
+            self.keywords,
+            self.file_id,
+            self.filename,
+            self.providers,
+            self.responder,
+            self.reverse_path[1:],
+        )
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from ..sim.metrics import MetricRegistry
 from ..sim.rng import RandomStreams
 from ..sim.tracing import NullTracer, Tracer
 from .graph import OverlayGraph
-from .peer import Peer
+from .peer import LivenessTable, Peer
 
 __all__ = ["P2PNetwork"]
 
@@ -58,6 +58,18 @@ class P2PNetwork:
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
         self._per_query_messages: Dict[int, int] = {}
+        # Struct-of-arrays liveness: the delivery check and the alive
+        # census read flat flags instead of walking Peer objects.
+        self.liveness = LivenessTable(len(peers))
+        for peer in peers:
+            peer.bind_liveness(self.liveness)
+        self._alive_flags = self.liveness.flags
+        # Hot counters, resolved once instead of a registry dict lookup
+        # per message.
+        self._total_counter = self.metrics.counter("messages.total")
+        self._kind_counters = {
+            "message": self.metrics.counter("messages.message"),
+        }
 
     # -- construction ----------------------------------------------------
 
@@ -89,8 +101,8 @@ class P2PNetwork:
         return self.peers[peer_id]
 
     def alive_peer_ids(self) -> List[int]:
-        """Ids of every currently-alive peer."""
-        return [p.peer_id for p in self.peers if p.alive]
+        """Ids of every currently-alive peer (ascending)."""
+        return self.liveness.alive_ids()
 
     # -- messaging ---------------------------------------------------------
 
@@ -110,8 +122,13 @@ class P2PNetwork:
         counted immediately (``kind`` counter, plus the per-query tally
         when ``query_id`` is given).
         """
-        self.metrics.counter(f"messages.{kind}").increment()
-        self.metrics.counter("messages.total").increment()
+        kind_counter = self._kind_counters.get(kind)
+        if kind_counter is None:
+            kind_counter = self._kind_counters[kind] = self.metrics.counter(
+                f"messages.{kind}"
+            )
+        kind_counter.increment()
+        self._total_counter.increment()
         if query_id is not None:
             self._per_query_messages[query_id] = (
                 self._per_query_messages.get(query_id, 0) + 1
@@ -122,7 +139,7 @@ class P2PNetwork:
     def _deliver(
         self, dst: int, handler: Callable[[int, object], None], payload: object
     ) -> None:
-        if not self.peers[dst].alive:
+        if not self._alive_flags[dst]:
             self.metrics.counter("messages.dropped_dead_peer").increment()
             return
         handler(dst, payload)

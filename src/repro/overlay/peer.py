@@ -13,11 +13,72 @@ own namespace attribute.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 from ..files.storage import FileStore
 
-__all__ = ["BoundedSet", "Peer"]
+__all__ = ["BoundedSet", "LivenessTable", "Peer"]
+
+
+class LivenessTable:
+    """Struct-of-arrays liveness flags for a dense peer population.
+
+    The per-message delivery check and the per-arrival alive census are
+    the two hottest liveness reads in the simulator; chasing ``Peer``
+    objects for a one-bit answer costs an attribute load and a pointer
+    dereference per peer.  This table keeps the flags in one bytearray
+    (``flags[pid]`` ∈ {0, 1}), a running alive count, and a lazily
+    rebuilt ascending list of alive ids — the same order the old
+    object-walk produced.
+
+    :class:`Peer` objects bound to a table (see :meth:`Peer.
+    bind_liveness`) keep their ``peer.alive`` read/write API; writes
+    flow through :meth:`set_alive` so count and cache stay consistent.
+    """
+
+    __slots__ = ("flags", "_alive_count", "_alive_ids")
+
+    def __init__(self, num_peers: int) -> None:
+        if num_peers < 0:
+            raise ValueError(f"num_peers must be non-negative, got {num_peers}")
+        self.flags = bytearray(b"\x01" * num_peers)
+        self._alive_count = num_peers
+        self._alive_ids: Optional[List[int]] = None
+
+    @property
+    def num_peers(self) -> int:
+        """Population size (alive or not)."""
+        return len(self.flags)
+
+    def is_alive(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` is up."""
+        return bool(self.flags[peer_id])
+
+    def set_alive(self, peer_id: int, value: bool) -> None:
+        """Flip ``peer_id``'s flag, keeping count and id cache coherent."""
+        flag = 1 if value else 0
+        if self.flags[peer_id] == flag:
+            return
+        self.flags[peer_id] = flag
+        self._alive_count += 1 if flag else -1
+        self._alive_ids = None
+
+    def alive_count(self) -> int:
+        """Number of alive peers — O(1)."""
+        return self._alive_count
+
+    def alive_ids(self) -> List[int]:
+        """Ascending ids of alive peers (a fresh copy).
+
+        Rebuilt only after a liveness change, so steady-state callers
+        pay one list copy instead of an object walk."""
+        cache = self._alive_ids
+        if cache is None:
+            flags = self.flags
+            cache = self._alive_ids = [
+                pid for pid in range(len(flags)) if flags[pid]
+            ]
+        return list(cache)
 
 
 class BoundedSet:
@@ -88,7 +149,8 @@ class Peer:
         "locid",
         "gid",
         "store",
-        "alive",
+        "_alive",
+        "_liveness",
         "seen_queries",
         "protocol_state",
     )
@@ -105,9 +167,34 @@ class Peer:
         self.locid = locid
         self.gid = gid
         self.store = store
-        self.alive = True
+        self._alive = True
+        self._liveness: Optional[LivenessTable] = None
         self.seen_queries = BoundedSet(seen_capacity)
         self.protocol_state: Dict[str, Any] = {}
+
+    @property
+    def alive(self) -> bool:
+        """Churn flag; dead peers neither receive nor send."""
+        table = self._liveness
+        if table is None:
+            return self._alive
+        return bool(table.flags[self.peer_id])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        table = self._liveness
+        if table is None:
+            self._alive = bool(value)
+        else:
+            table.set_alive(self.peer_id, bool(value))
+
+    def bind_liveness(self, table: LivenessTable) -> None:
+        """Back this peer's ``alive`` flag by a shared table.
+
+        Called by :class:`~repro.overlay.network.P2PNetwork` at
+        assembly; the peer's current state is carried into the table."""
+        table.set_alive(self.peer_id, self._alive)
+        self._liveness = table
 
     def mark_seen(self, query_id: int) -> bool:
         """Record a query id; ``False`` means duplicate (drop the copy)."""

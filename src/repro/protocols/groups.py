@@ -16,6 +16,7 @@ keyword queries".
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Iterable, Set
 
 from ..files.keywords import canonical_form
@@ -23,8 +24,14 @@ from ..files.keywords import canonical_form
 __all__ = ["stable_hash", "file_group", "query_group_guess", "keyword_groups"]
 
 
+@lru_cache(maxsize=None)
 def stable_hash(text: str) -> int:
-    """A process-stable 64-bit hash of ``text``."""
+    """A process-stable 64-bit hash of ``text``.
+
+    Memoised: routing hashes the same filenames and keyword sets on
+    every hop, and the catalog is finite, so each distinct string pays
+    for its BLAKE2b digest once per process.
+    """
     digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big")
 

@@ -88,8 +88,10 @@ class QueryWorkload:
         self._schedule_next()
 
     def _system_rate(self) -> float:
-        alive = sum(1 for p in self._network.peers if p.alive)
-        return alive * self._network.config.query_rate_per_peer
+        return (
+            self._network.liveness.alive_count()
+            * self._network.config.query_rate_per_peer
+        )
 
     def _schedule_next(self) -> None:
         if self._max_queries is not None and self._generated >= self._max_queries:

@@ -68,3 +68,35 @@ class TestGraphMutationProperties:
     def test_connectivity_patch_always_connects(self, seed):
         graph = OverlayGraph.random(50, 1.5, random.Random(seed))
         assert graph.is_connected()
+
+    @given(seed=st.integers(0, 500), num_peers=st.integers(10, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_dense_graph_construction_terminates(self, seed, num_peers):
+        """mean_degree = num_peers - 1 is the complete graph.
+
+        The old rejection-sampling loop near-livelocked here (accept
+        probability tends to zero as the edge set fills); the dense
+        path samples the remaining non-edges directly.
+        """
+        graph = OverlayGraph.random(
+            num_peers, num_peers - 1, random.Random(seed), connect_components=False
+        )
+        assert graph.num_edges == num_peers * (num_peers - 1) // 2
+        for pid in graph.peers():
+            assert graph.degree(pid) == num_peers - 1
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_dense_and_sparse_regimes_agree_on_invariants(self, seed):
+        """Graphs just past the density threshold keep all invariants."""
+        n = 24
+        graph = OverlayGraph.random(
+            n, n * 0.7, random.Random(seed), connect_components=False
+        )
+        assert graph.num_edges == round(n * n * 0.7 / 2)
+        for pid in graph.peers():
+            row = graph.neighbors_view(pid)
+            assert pid not in row
+            assert len(set(row)) == len(row)
+            for neighbor in row:
+                assert pid in graph.neighbors_view(neighbor)

@@ -190,6 +190,7 @@ class SearchProtocol:
         cached = self.check_index(origin_peer, query)
         answered = False
         if cached is not None:
+            self._record_hit()
             self._deliver_to_origin(origin_peer, cached)
             answered = True
         if not answered or self.forward_after_hit:
@@ -253,9 +254,16 @@ class SearchProtocol:
                 self._route_response(peer.peer_id, cached)
                 answered = True
         if answered:
-            self.network.metrics.counter("queries.hits").increment()
+            self._record_hit()
         if not answered or self.forward_after_hit:
             self._forward(peer, query)
+
+    def _record_hit(self) -> None:
+        """Count one answered query copy under ``queries.hits``.
+
+        Shared by the remote store/index path and the origin's own
+        index check, so hit-rate reports see both."""
+        self.network.metrics.counter("queries.hits").increment()
 
     # -- responses -----------------------------------------------------------
 

@@ -214,3 +214,62 @@ class TestTracing:
         assert tracer.count("query.issue") == 1
         assert tracer.count("query.satisfied") == 1
         assert tracer.count("response.delivered") >= 1
+
+
+class TestHitAccounting:
+    def _origin_index_protocol(self, network):
+        """A protocol whose origin holds an index entry for every query."""
+        from repro.overlay.messages import QueryResponse
+
+        class OriginIndexProtocol(FloodingProtocol):
+            def check_index(self, peer, query):
+                if peer.peer_id != query.origin:
+                    return None
+                return QueryResponse(
+                    query_id=query.query_id,
+                    origin=query.origin,
+                    origin_locid=query.origin_locid,
+                    keywords=query.keywords,
+                    file_id=query.target_file,
+                    filename=self.network.catalog.filename(query.target_file),
+                    providers=(
+                        ProviderEntry(42, self.network.peer(42).locid),
+                    ),
+                    responder=peer.peer_id,
+                    reverse_path=(),
+                )
+
+        return OriginIndexProtocol(network)
+
+    def test_origin_index_hit_counts_in_hits(self):
+        """Regression: an index hit at the *origin* must increment
+        queries.hits exactly like a hit at any other peer — it used to
+        deliver the cached response without the counter bump."""
+        network = make_network()
+        protocol = self._origin_index_protocol(network)
+        clear_all_stores(network)
+        network.peer(42).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        assert network.metrics.counter("queries.hits").value == 1
+
+    def test_origin_index_hit_query_succeeds(self):
+        network = make_network()
+        protocol = self._origin_index_protocol(network)
+        clear_all_stores(network)
+        network.peer(42).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert outcome.success
+        assert outcome.provider == 42
+
+    def test_remote_hits_still_counted_once_per_answering_peer(self):
+        network = make_network(query_timeout_s=10.0)
+        protocol = FloodingProtocol(network)
+        clear_all_stores(network)
+        for holder in (10, 20):
+            network.peer(holder).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        network.sim.run()
+        assert network.metrics.counter("queries.hits").value == 2
+

@@ -384,11 +384,18 @@ class SearchProtocol:
     # -- accounting ---------------------------------------------------------
 
     def _finalize_query(self, query_id: int) -> None:
-        context = self._contexts.pop(query_id, None)
+        context = self._contexts.get(query_id)
         if context is None:
             return
         if context.selection_handle is not None:
+            # A selection window is still open: the last response
+            # arrived inside the timeout but its window lands after it.
+            # The providers are in hand — run the selection now instead
+            # of discarding them and counting the query failed.
             context.selection_handle.cancel()
+            context.selection_handle = None
+            self._run_selection(query_id)
+        del self._contexts[query_id]
         messages = self.network.forget_query_messages(query_id)
         if not context.success:
             self.network.metrics.counter("queries.failed").increment()

@@ -273,3 +273,87 @@ class TestHitAccounting:
         network.sim.run()
         assert network.metrics.counter("queries.hits").value == 2
 
+
+class TestFinalizeTimeSelection:
+    """Responses in hand at the timeout must not be thrown away."""
+
+    @staticmethod
+    def _silent_protocol(network):
+        """No forwarding: the only responses are the ones a test injects."""
+
+        class SilentProtocol(FloodingProtocol):
+            def select_forward_targets(self, peer, query):
+                return []
+
+        return SilentProtocol(network)
+
+    def _deliver_response_at(self, network, protocol, when, provider_id=42):
+        from repro.overlay.messages import QueryResponse
+
+        def deliver():
+            response = QueryResponse(
+                query_id=0,
+                origin=0,
+                origin_locid=network.peer(0).locid,
+                keywords=full_keywords(network, 7),
+                file_id=7,
+                filename=network.catalog.filename(7),
+                providers=(ProviderEntry(provider_id, network.peer(provider_id).locid),),
+                responder=provider_id,
+                reverse_path=(),
+            )
+            protocol._deliver_to_origin(network.peer(0), response)
+
+        network.sim.schedule(when, deliver)
+
+    def test_response_inside_timeout_window_after_timeout_succeeds(self):
+        """Stepping-clock regression: a response arriving at t=4.5 with
+        a 2 s selection window and a 5 s timeout used to be discarded
+        (window cancelled at finalize) and the query counted failed
+        despite a valid provider in hand."""
+        network = make_network(query_timeout_s=5.0, response_window_s=2.0)
+        protocol = self._silent_protocol(network)
+        clear_all_stores(network)
+        network.peer(42).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        self._deliver_response_at(network, protocol, when=4.5)
+        network.sim.run(until=4.4)
+        assert protocol.pending_queries == 1  # clock check: not yet delivered
+        network.sim.run(until=4.6)
+        assert protocol.pending_queries == 1  # delivered, window still open
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert outcome.success
+        assert outcome.provider == 42
+        assert network.metrics.counter("queries.failed").value == 0
+
+    def test_selection_window_inside_timeout_unaffected(self):
+        """A window that closes before the timeout still runs on its own
+        clock — satisfied state is untouched by the finalize pass."""
+        network = make_network(query_timeout_s=10.0, response_window_s=1.0)
+        protocol = self._silent_protocol(network)
+        clear_all_stores(network)
+        network.peer(42).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        self._deliver_response_at(network, protocol, when=2.0)
+        network.sim.run(until=3.5)
+        context = protocol._contexts[0]
+        assert context.satisfied  # selected at t=3.0, well before finalize
+        network.sim.run()
+        assert protocol.outcomes[0].success
+
+    def test_stale_providers_at_finalize_still_fail(self):
+        """The finalize-time pass selects only *valid* providers; a dead
+        one still yields a failed query (and a selection_failed count)."""
+        network = make_network(query_timeout_s=5.0, response_window_s=2.0)
+        protocol = self._silent_protocol(network)
+        clear_all_stores(network)
+        network.peer(42).store.add(7)
+        protocol.issue_query(0, 7, full_keywords(network, 7))
+        self._deliver_response_at(network, protocol, when=4.5)
+        network.sim.schedule(4.7, lambda: setattr(network.peer(42), "alive", False))
+        network.sim.run()
+        outcome = protocol.outcomes[0]
+        assert not outcome.success
+        assert network.metrics.counter("queries.selection_failed").value == 1
+        assert network.metrics.counter("queries.failed").value == 1

@@ -246,12 +246,23 @@ class RouterLevelLatencyModel(LatencyModel):
         return dist
 
     def _rescale_distances(self) -> None:
-        """Map router-path distances onto the configured latency range."""
+        """Map router-path distances onto the configured latency range.
+
+        ``latency_ms`` adds ``min + 2*last_mile`` on top of the scaled
+        backbone distance, so the scaled span must leave room for the
+        access links: mapping the longest path to ``max - min`` alone
+        would make the worst pair read ``max + 2*last_mile`` (510 ms
+        with defaults), violating the documented ``[min, max]``
+        contract.  Clamped at zero for degenerate configs where the
+        last miles alone exhaust the range.
+        """
         finite = [
             d for row in self._dist for d in row if d > 0 and math.isfinite(d)
         ]
         longest = max(finite) if finite else 1.0
-        span = self.max_latency_ms - self.min_latency_ms
+        span = max(
+            0.0, self.max_latency_ms - self.min_latency_ms - 2.0 * self.last_mile_ms
+        )
         scale = span / longest if longest > 0 else 0.0
         self._dist = [
             [d * scale if math.isfinite(d) else math.inf for d in row] for row in self._dist

@@ -66,14 +66,47 @@ class TestRouterLevelModel:
         return RouterLevelLatencyModel(random.Random(7), num_routers=24)
 
     def test_latency_positive_and_bounded(self, model):
+        """The documented [min, max] contract holds end to end: the
+        last-mile links are folded into the rescaled backbone span, so
+        the worst pair reads exactly max, not max + 2*last_mile."""
         rng = random.Random(11)
         for _ in range(50):
             a = Point(rng.random(), rng.random())
             b = Point(rng.random(), rng.random())
             latency = model.latency_ms(a, b)
             assert latency >= model.min_latency_ms
-            # min + last miles + longest backbone path
-            assert latency <= model.max_latency_ms + model.min_latency_ms + 2 * model.last_mile_ms
+            assert latency <= model.max_latency_ms
+
+    def test_worst_router_pair_reads_exactly_max(self, model):
+        """Two peers attached to the endpoints of the longest backbone
+        path measure max_latency_ms (up to float rounding)."""
+        import math
+
+        longest = max(
+            d for row in model._dist for d in row if math.isfinite(d)  # noqa: SLF001
+        )
+        expected_worst = (
+            model.min_latency_ms + 2.0 * model.last_mile_ms + longest
+        )
+        assert expected_worst == pytest.approx(model.max_latency_ms)
+
+    def test_degenerate_range_clamps_span_to_zero(self):
+        """If the access links alone exhaust [min, max], the backbone
+        contributes nothing rather than pushing past max."""
+        model = RouterLevelLatencyModel(
+            random.Random(5),
+            num_routers=8,
+            min_latency_ms=10.0,
+            max_latency_ms=15.0,
+            last_mile_ms=5.0,
+        )
+        rng = random.Random(6)
+        for _ in range(30):
+            a = Point(rng.random(), rng.random())
+            b = Point(rng.random(), rng.random())
+            assert model.latency_ms(a, b) == pytest.approx(
+                model.min_latency_ms + 2.0 * model.last_mile_ms
+            )
 
     def test_symmetry(self, model):
         a, b = Point(0.05, 0.10), Point(0.95, 0.90)

@@ -1,0 +1,255 @@
+"""Scale-frontier benchmark of the array-backed hot path (``BENCH_scale.json``).
+
+The substrate refactor (CSR overlay adjacency, int-backed Bloom
+vectors with memoised probe positions, bound O(1) latency closures)
+exists to push the feasible system size from ~10² peers toward the
+10⁴–10⁵ range.  This bench pins that claim with a standing frontier
+table — peers × queries/sec of wall-clock — and two hard gates:
+
+- the **largest** frontier cell (≥600 peers by default) must sustain
+  equal-or-better queries/sec than the *seed-style* substrate (dict
+  graph + byte blooms + per-call latency scans, monkeypatched back in)
+  manages at 60 peers;
+- at the largest N, the bound latency path (``Underlay.latency_ms``)
+  must beat the O(R)-scan reference path (``Underlay.scan_latency_ms``)
+  by a hard-asserted factor on the router model.
+
+Scale is tunable so CI can run a cheap pass and a workstation can push
+the frontier out:
+
+- ``REPRO_BENCH_SCALE_PEERS``   — comma-separated frontier sizes
+  (default ``60,600``; the largest entry is the gated cell);
+- ``REPRO_BENCH_SCALE_QUERIES`` — query horizon per cell (default 300).
+
+Results land in ``BENCH_scale.json`` at the repo root so CI uploads
+them and future PRs can track the frontier over time.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.bloom.counting as counting_module
+import repro.bloom.delta as delta_module
+import repro.core.bloom_router as bloom_router_module
+import repro.overlay.blueprint as blueprint_module
+from repro.bloom.bloom_filter import ByteBloomFilter
+from repro.experiments import run_protocol, small_config
+from repro.net.latency import RouterLevelLatencyModel
+from repro.net.underlay import Underlay
+from repro.overlay.blueprint import NetworkBlueprint
+from repro.overlay.graph import DictOverlayGraph
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: The protocol under test: locaware exercises every refactored
+#: substrate (overlay walks, bloom routing, latency on each hop).
+PROTOCOL = "locaware"
+
+#: Minimum speedup of the bound latency path over the O(R) scan path
+#: at the frontier N.  The bound path replaces two nearest-router
+#: scans (O(R) each) plus row indexing with one flat-array load, so
+#: parity would mean the binding is broken; the observed figure is far
+#: higher and is recorded in the JSON.
+LATENCY_SPEEDUP_FLOOR = 2.0
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _frontier_sizes():
+    raw = os.environ.get("REPRO_BENCH_SCALE_PEERS", "60,600")
+    try:
+        sizes = sorted({int(part) for part in raw.split(",") if part.strip()})
+    except ValueError:
+        raise pytest.UsageError(
+            "environment variable REPRO_BENCH_SCALE_PEERS must be a "
+            f"comma-separated list of integers, got {raw!r}"
+        ) from None
+    if not sizes or sizes[0] < 2:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SCALE_PEERS must name sizes >= 2, got {raw!r}"
+        )
+    return sizes
+
+
+QUERIES = _env_int("REPRO_BENCH_SCALE_QUERIES", 300)
+
+
+def _scale_config(num_peers, seed=11):
+    """The small-config ratios (3 files/peer, 9 keywords/file slot)
+    scaled to ``num_peers``, on the router substrate — the model whose
+    per-call scan cost the bound path eliminates."""
+    return small_config(seed=seed).replace(
+        num_peers=num_peers,
+        num_files=3 * num_peers,
+        keyword_pool_size=9 * num_peers,
+        latency_model="router",
+        query_rate_per_peer=0.02,
+    )
+
+
+def _patch_seed_substrate(mp):
+    """Monkeypatch the retained legacy backends back in: dict-of-rows
+    overlay, bytearray blooms, per-call model-scan latency.  Mirrors
+    tests/test_substrate_equivalence.py, which proves the two
+    substrates byte-identical — so this comparison is pure wall-clock,
+    same trajectory."""
+    mp.setattr(blueprint_module, "OverlayGraph", DictOverlayGraph)
+    mp.setattr(bloom_router_module, "BloomFilter", ByteBloomFilter)
+    mp.setattr(counting_module, "BloomFilter", ByteBloomFilter)
+    mp.setattr(delta_module, "BloomFilter", ByteBloomFilter)
+    mp.setattr(Underlay, "latency_ms", Underlay.scan_latency_ms)
+    mp.setattr(Underlay, "rtt_ms", Underlay.scan_rtt_ms)
+    mp.setattr(
+        Underlay, "latency_s", lambda self, a, b: self.scan_latency_ms(a, b) / 1000.0
+    )
+
+
+def _best_of(repeats, fn):
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _timed_cell(config):
+    """(build_s, run_s, qps) for one frontier cell on the current
+    (possibly monkeypatched) substrate.  The run is timed against a
+    pre-built blueprint so qps measures the simulation hot path, not
+    world construction; build time is reported alongside."""
+    started = time.perf_counter()
+    blueprint = NetworkBlueprint.build(config)
+    build_s = time.perf_counter() - started
+    run_s = _best_of(
+        2,
+        lambda: run_protocol(
+            config, PROTOCOL, max_queries=QUERIES, bucket_width=QUERIES,
+            blueprint=blueprint,
+        ),
+    )
+    return build_s, run_s, QUERIES / run_s
+
+
+def _latency_microbench(num_peers):
+    """Best-of-3 wall-clock for 20k pair-latency calls through the
+    bound path vs the O(R)-scan path on one router-model underlay."""
+    underlay = Underlay.build(
+        num_peers, random.Random(17), model=RouterLevelLatencyModel(random.Random(19))
+    )
+    rng = random.Random(23)
+    pairs = [(rng.randrange(num_peers), rng.randrange(num_peers)) for _ in range(20_000)]
+
+    def drive(fn):
+        for a, b in pairs:
+            fn(a, b)
+
+    fast_s = _best_of(3, lambda: drive(underlay.latency_ms))
+    scan_s = _best_of(3, lambda: drive(underlay.scan_latency_ms))
+    return fast_s, scan_s, len(pairs)
+
+
+def test_perf_scale(show):
+    sizes = _frontier_sizes()
+    frontier_n = sizes[-1]
+    assert frontier_n >= 600 or "REPRO_BENCH_SCALE_PEERS" in os.environ
+
+    # -- frontier table: peers × queries/sec on the new substrate ---------
+    frontier = []
+    for num_peers in sizes:
+        build_s, run_s, qps = _timed_cell(_scale_config(num_peers))
+        frontier.append(
+            {
+                "num_peers": num_peers,
+                "build_s": build_s,
+                "run_s": run_s,
+                "queries_per_s": qps,
+            }
+        )
+
+    # -- seed-style reference: 60 peers on the legacy substrate -----------
+    with pytest.MonkeyPatch.context() as mp:
+        _patch_seed_substrate(mp)
+        seed_build_s, seed_run_s, seed_qps = _timed_cell(_scale_config(60))
+
+    frontier_qps = frontier[-1]["queries_per_s"]
+
+    # -- latency hot path: bound closure vs O(R) scan at the frontier N ---
+    fast_s, scan_s, calls = _latency_microbench(frontier_n)
+    latency_speedup = scan_s / fast_s
+
+    payload = {
+        "config": {
+            "protocol": PROTOCOL,
+            "latency_model": "router",
+            "queries_per_cell": QUERIES,
+            "ratios": "small_config scaled: 3 files/peer, 9x keyword pool",
+        },
+        "frontier": frontier,
+        "seed_substrate_60": {
+            "num_peers": 60,
+            "build_s": seed_build_s,
+            "run_s": seed_run_s,
+            "queries_per_s": seed_qps,
+        },
+        "gate": {
+            "frontier_peers": frontier_n,
+            "frontier_queries_per_s": frontier_qps,
+            "seed_60_queries_per_s": seed_qps,
+            "ratio": frontier_qps / seed_qps,
+        },
+        "latency_path": {
+            "num_peers": frontier_n,
+            "calls": calls,
+            "bound_s": fast_s,
+            "scan_s": scan_s,
+            "speedup": latency_speedup,
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = "\n".join(
+        f"    {cell['num_peers']:>6} peers   "
+        f"build {cell['build_s']:6.2f} s   "
+        f"run {cell['run_s']:6.2f} s   "
+        f"{cell['queries_per_s']:8.1f} q/s"
+        for cell in frontier
+    )
+    show(
+        "BENCH scale (router substrate, locaware, "
+        f"{QUERIES} queries/cell)\n"
+        f"{rows}\n"
+        f"    seed-style substrate @ 60 peers: {seed_qps:8.1f} q/s "
+        f"(frontier/{60}-seed ratio {frontier_qps / seed_qps:.2f}x)\n"
+        f"    latency path @ {frontier_n} peers: bound {1e3 * fast_s:.1f} ms "
+        f"vs scan {1e3 * scan_s:.1f} ms for {calls} calls "
+        f"-> {latency_speedup:.1f}x\n"
+        f"    written to {OUTPUT_PATH.name}"
+    )
+
+    # The headline gate: a 10x-larger system on the new substrate keeps
+    # pace with the seed substrate's 60-peer throughput.
+    assert frontier_qps >= seed_qps, (
+        f"{frontier_n}-peer frontier ran at {frontier_qps:.1f} q/s, below the "
+        f"seed substrate's {seed_qps:.1f} q/s at 60 peers"
+    )
+    assert latency_speedup >= LATENCY_SPEEDUP_FLOOR, (
+        f"bound latency path only {latency_speedup:.2f}x faster than the "
+        f"O(R) scan at {frontier_n} peers (floor {LATENCY_SPEEDUP_FLOOR}x)"
+    )

@@ -1,0 +1,162 @@
+"""Tracing-off overhead gate for the observability layer (``BENCH_tracing.json``).
+
+The telemetry/tracing layer must be free when it is off.  "Off" is the
+default ``run_protocol`` path: a :class:`NullTracer`, guarded emit
+sites, unconditional operational counters, queue-peak tracking in
+``schedule_at``, and one post-run telemetry collection.  This bench
+times that path against a reconstructed *pre-observability* baseline
+on the BENCH_scale frontier cell and asserts the overhead stays under
+a hard ceiling.
+
+The baseline cannot be a historical wall-clock number (machines
+differ), so it is rebuilt in-process: ``Simulator.schedule_at`` is
+monkeypatched back to a peak-free version and telemetry collection is
+disabled (``collect_telemetry=False``).  The guarded trace emits and
+the new counters stay in — they are part of the instrumented code
+under test — so the measured delta is, if anything, an overestimate
+of what the observability layer costs relative to the previous code.
+
+Scale knobs (CI runs a cheap pass, a workstation can push harder):
+
+- ``REPRO_BENCH_TRACING_PEERS``   — frontier cell size (default 600);
+- ``REPRO_BENCH_TRACING_QUERIES`` — query horizon (default 300).
+
+Results land in ``BENCH_tracing.json`` at the repo root.
+"""
+
+import heapq
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_protocol, small_config
+from repro.overlay import NetworkBlueprint
+from repro.sim.engine import EventHandle, SchedulingError, Simulator
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_tracing.json"
+
+PROTOCOL = "locaware"
+
+#: Hard ceiling on tracing-off overhead versus the reconstructed
+#: baseline, as a percentage of baseline wall-clock.
+OVERHEAD_CEILING_PCT = 3.0
+
+#: Timing repeats per side; interleaved so thermal/load drift hits
+#: both sides equally and best-of discards the noise.
+REPEATS = 3
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
+NUM_PEERS = _env_int("REPRO_BENCH_TRACING_PEERS", 600)
+QUERIES = _env_int("REPRO_BENCH_TRACING_QUERIES", 300)
+
+
+def _scale_config(num_peers, seed=11):
+    """The BENCH_scale frontier cell: small-config ratios scaled to
+    ``num_peers`` on the router substrate (mirrors test_perf_scale)."""
+    return small_config(seed=seed).replace(
+        num_peers=num_peers,
+        num_files=3 * num_peers,
+        keyword_pool_size=9 * num_peers,
+        latency_model="router",
+        query_rate_per_peer=0.02,
+    )
+
+
+def _untracked_schedule_at(self, time, callback, *args):
+    """``Simulator.schedule_at`` as it was before queue-peak tracking."""
+    if not math.isfinite(time):
+        raise SchedulingError(f"event time must be finite, got {time!r}")
+    if time < self._now:
+        raise SchedulingError(
+            f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+        )
+    handle = EventHandle(time)
+    heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
+    self._seq += 1
+    return handle
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_perf_tracing_off_overhead(show):
+    config = _scale_config(NUM_PEERS)
+    blueprint = NetworkBlueprint.build(config)
+
+    def run_instrumented():
+        run_protocol(
+            config, PROTOCOL, max_queries=QUERIES, bucket_width=QUERIES,
+            blueprint=blueprint,
+        )
+
+    def run_baseline():
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(Simulator, "schedule_at", _untracked_schedule_at)
+            run_protocol(
+                config, PROTOCOL, max_queries=QUERIES, bucket_width=QUERIES,
+                blueprint=blueprint, collect_telemetry=False,
+            )
+
+    # One untimed warmup each, then interleave the timed repeats so
+    # drift cannot systematically favour either side.
+    run_baseline()
+    run_instrumented()
+    baseline_times, instrumented_times = [], []
+    for _ in range(REPEATS):
+        baseline_times.append(_timed(run_baseline))
+        instrumented_times.append(_timed(run_instrumented))
+
+    baseline_s = min(baseline_times)
+    instrumented_s = min(instrumented_times)
+    overhead_pct = 100.0 * (instrumented_s - baseline_s) / baseline_s
+
+    payload = {
+        "config": {
+            "protocol": PROTOCOL,
+            "num_peers": NUM_PEERS,
+            "queries": QUERIES,
+            "latency_model": "router",
+            "repeats": REPEATS,
+        },
+        "baseline_s": baseline_s,
+        "instrumented_s": instrumented_s,
+        "overhead_pct": overhead_pct,
+        "ceiling_pct": OVERHEAD_CEILING_PCT,
+        "baseline_times_s": baseline_times,
+        "instrumented_times_s": instrumented_times,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    show(
+        "BENCH tracing-off overhead "
+        f"({PROTOCOL}, {NUM_PEERS} peers, {QUERIES} queries, router)\n"
+        f"    baseline (no telemetry, untracked queue): {baseline_s:7.3f} s\n"
+        f"    instrumented (NullTracer + telemetry):    {instrumented_s:7.3f} s\n"
+        f"    overhead: {overhead_pct:+.2f}% "
+        f"(ceiling {OVERHEAD_CEILING_PCT:.1f}%)\n"
+        f"    written to {OUTPUT_PATH.name}"
+    )
+
+    assert overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"tracing-off path is {overhead_pct:.2f}% slower than the "
+        f"pre-observability baseline (ceiling {OVERHEAD_CEILING_PCT}%)"
+    )

@@ -37,6 +37,14 @@ from .sweep_report import (
     render_sweep_rows,
 )
 from .tables import format_percent, format_series_table, format_table
+from .traces import (
+    TraceParseError,
+    TraceSummary,
+    read_trace,
+    render_query_timeline,
+    render_trace_summary,
+    summarize_trace,
+)
 
 __all__ = [
     "MetricSeries",
@@ -75,4 +83,10 @@ __all__ = [
     "aggregate_sweep",
     "render_sweep_report",
     "render_sweep_rows",
+    "TraceParseError",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "render_trace_summary",
+    "render_query_timeline",
 ]

@@ -1,0 +1,149 @@
+"""Offline analysis of JSONL trace files (``repro trace summarize``).
+
+A trace file is what :class:`~repro.sim.tracing.JsonlTracer` writes:
+one JSON object per line, each carrying at least ``t`` (virtual time)
+and ``kind``; most protocol events also carry ``qid``, which is what
+lets the summary reconstruct a per-query hop timeline (issue →
+forwards → hits → responses → selection → finalize).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .tables import format_table
+
+__all__ = [
+    "TraceParseError",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "render_trace_summary",
+    "render_query_timeline",
+]
+
+
+class TraceParseError(ValueError):
+    """A trace file line failed to parse, with the line number named."""
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every event of a JSONL trace file, in file order.
+
+    Blank lines are tolerated (a truncated final line is not: tracing
+    writes whole lines, so a partial one means real damage and raises
+    :class:`TraceParseError` naming the line).
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceParseError(
+                    f"{path}: line {number} is not valid JSON ({error})"
+                ) from None
+            if not isinstance(event, dict) or "kind" not in event:
+                raise TraceParseError(
+                    f"{path}: line {number} is not a trace event "
+                    "(expected an object with a 'kind' field)"
+                )
+            events.append(event)
+    return events
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one trace: per-kind counts plus per-query events."""
+
+    total_events: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    #: qid → that query's events, in trace order.
+    queries: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+    first_t: float = 0.0
+    last_t: float = 0.0
+
+    @property
+    def span_s(self) -> float:
+        """Virtual-time span covered by the trace."""
+        return self.last_t - self.first_t
+
+
+def summarize_trace(events: List[Dict[str, Any]]) -> TraceSummary:
+    """Fold a list of trace events into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    counts: "Counter[str]" = Counter()
+    times: List[float] = []
+    for event in events:
+        counts[event.get("kind", "?")] += 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            times.append(float(t))
+        qid = event.get("qid")
+        if isinstance(qid, int):
+            summary.queries.setdefault(qid, []).append(event)
+    summary.total_events = len(events)
+    summary.kind_counts = dict(counts)
+    if times:
+        summary.first_t = min(times)
+        summary.last_t = max(times)
+    return summary
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    """The per-kind counts table plus headline totals."""
+    rows = [
+        [kind, count, f"{count / summary.total_events:6.1%}"]
+        for kind, count in sorted(
+            summary.kind_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    lines = [
+        format_table(["kind", "events", "share"], rows, title="Trace events by kind"),
+        "",
+        f"total events: {summary.total_events}",
+        f"queries traced: {len(summary.queries)}",
+        f"virtual-time span: {summary.span_s:.1f} s "
+        f"({summary.first_t:.1f} .. {summary.last_t:.1f})",
+    ]
+    return "\n".join(lines)
+
+
+def _event_detail(event: Dict[str, Any]) -> str:
+    """Everything but t/kind/qid, rendered compactly."""
+    parts = [
+        f"{key}={value!r}"
+        for key, value in event.items()
+        if key not in ("t", "kind", "qid")
+    ]
+    return " ".join(parts)
+
+
+def render_query_timeline(
+    summary: TraceSummary, qid: Optional[int] = None
+) -> str:
+    """One query's hop timeline (default: the first traced query)."""
+    if not summary.queries:
+        return "no query events in this trace (no qid fields)"
+    if qid is None:
+        qid = min(summary.queries)
+    events = summary.queries.get(qid)
+    if events is None:
+        known = sorted(summary.queries)
+        window = ", ".join(str(q) for q in known[:10])
+        more = "..." if len(known) > 10 else ""
+        return f"no events for query {qid}; traced queries: {window}{more}"
+    rows = [
+        [f"{event.get('t', 0.0):.3f}", event.get("kind", "?"), _event_detail(event)]
+        for event in events
+    ]
+    return format_table(
+        ["t (s)", "kind", "detail"], rows, title=f"Query {qid} timeline"
+    )

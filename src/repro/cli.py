@@ -23,8 +23,18 @@ Subcommands:
   can fan its claimed cells across ``--workers`` fork processes that
   inherit parent-built blueprints; ``grid status``
   shows stored/claimed/pending counts and the active claims;
+  ``grid watch`` is the live view — it polls the store and claims,
+  rendering stored/claimed/pending, per-runner throughput (from the
+  telemetry sidecars committed cells leave next to their documents),
+  and an ETA, while concurrent ``grid run`` processes fill the store;
+  ``grid run --profile DIR`` dumps per-batch cProfile artifacts;
   ``grid report`` aggregates a store from disk, ``grid ls`` lists the
   stored cells;
+- ``trace``    — observability for single cells: ``trace run`` executes
+  one cell with JSONL tracing on and prints its telemetry (wall-clock
+  phases, events/sec, per-kind event counts); ``trace summarize``
+  reports event counts by kind and a per-query hop timeline for any
+  trace file;
 - ``seed-sweep`` — claim robustness across several seeds;
 - ``info``     — show the §5.1 configuration and the system inventory.
 
@@ -43,8 +53,11 @@ Examples::
         --set ttl=5,7 --seeds 1 2 --queries 200 --workers 4
     repro-locaware grid run --store shared --runner-id worker-2 &
     repro-locaware grid status --store shared --config small --seeds 1 2
+    repro-locaware grid watch --store shared --config small --seeds 1 2
     repro-locaware grid report --store results
     repro-locaware grid ls --store results
+    repro-locaware trace run --protocol locaware --config small --out t.jsonl
+    repro-locaware trace summarize t.jsonl --query 3
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
 """
 
@@ -238,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="claim lease TTL: a runner silent this long is presumed "
         "dead and its claims may be reclaimed (default: 300)",
     )
+    grid_run.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="dump a cProfile .pstats file per executed batch into DIR "
+        "(with --workers > 1 the profile covers the coordinating "
+        "parent only)",
+    )
 
     grid_status = grid_sub.add_parser(
         "status",
@@ -246,6 +267,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_grid_axis_options(grid_status)
 
+    grid_watch = grid_sub.add_parser(
+        "watch",
+        help="live progress view of a grid: polls the store and claims, "
+        "showing stored/claimed/pending, per-runner throughput from "
+        "telemetry sidecars, and an ETA",
+    )
+    _add_grid_axis_options(grid_watch)
+    grid_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="polling interval (default: 2)",
+    )
+    grid_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot and exit (for scripts and CI)",
+    )
+    grid_watch.add_argument(
+        "--window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="throughput window: rates and the ETA use only cells "
+        "whose telemetry sidecar was committed within this many "
+        "seconds (default: 300)",
+    )
+
     grid_report = grid_sub.add_parser(
         "report", help="aggregate a result store incrementally from disk"
     )
@@ -253,6 +303,67 @@ def build_parser() -> argparse.ArgumentParser:
 
     grid_ls = grid_sub.add_parser("ls", help="list the stored cells")
     grid_ls.add_argument("--store", metavar="DIR", default="results")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced cell / summarize a JSONL trace file",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run",
+        help="execute one cell with JSONL tracing on and print its "
+        "telemetry and per-kind event counts",
+    )
+    trace_run.add_argument(
+        "--protocol",
+        choices=list(DEFAULT_PROTOCOL_ORDER),
+        default="locaware",
+    )
+    trace_run.add_argument(
+        "--scenario",
+        metavar="NAME[:K=V,...]",
+        default="baseline",
+        help="scenario, with optional parameter overrides after a colon",
+    )
+    trace_run.add_argument(
+        "--config",
+        choices=("paper", "small"),
+        default="small",
+        help="base configuration preset (default: small — tracing is "
+        "for inspecting behaviour, not paper-scale statistics)",
+    )
+    trace_run.add_argument("--seed", type=int, default=20090322)
+    trace_run.add_argument("--queries", type=int, default=200)
+    trace_run.add_argument("--bucket", type=int, default=None)
+    trace_run.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.jsonl",
+        help="JSONL trace output path (default: trace.jsonl)",
+    )
+    trace_run.add_argument(
+        "--kinds",
+        nargs="+",
+        default=None,
+        metavar="KIND",
+        help="only emit these event kinds (e.g. query.issue query.hit); "
+        "default: all kinds",
+    )
+
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="event counts by kind plus a per-query hop timeline",
+    )
+    trace_summarize.add_argument("file", metavar="FILE")
+    trace_summarize.add_argument(
+        "--query",
+        type=int,
+        default=None,
+        metavar="QID",
+        help="which query's timeline to render (default: the first "
+        "traced query)",
+    )
 
     seed_sweep = sub.add_parser(
         "seed-sweep", help="claim robustness across seeds"
@@ -523,6 +634,7 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
             store=ResultStore(args.store),
             runner_id=args.runner_id,
             lease_ttl_s=lease_ttl,
+            profile_dir=args.profile,
         )
     except (ValueError, ConfigurationError, OSError) as error:
         print(f"error: {error}", file=out)
@@ -532,6 +644,8 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
         f"(lease TTL {lease_ttl:g}s, workers {args.workers})",
         file=out,
     )
+    if args.profile:
+        print(f"  profiling: per-batch .pstats into {args.profile}", file=out)
     started = time.time()
     try:
         report = runner.run(
@@ -604,6 +718,113 @@ def _cmd_grid_status(args: argparse.Namespace, out) -> int:
                 file=out,
             )
     return 0
+
+
+def _watch_snapshot(store, claims, keys, window_s, now):
+    """One ``grid watch`` poll: progress lines and whether the grid is done.
+
+    Throughput comes from the telemetry sidecars committed cells leave
+    next to their documents — only sidecars stamped within the window
+    count, so the rate (and the ETA derived from it) reflects current
+    runners, not the whole history of the store.
+    """
+    stored = [key for key in sorted(keys) if store.has(key)]
+    stored_set = set(stored)
+    claimed = [
+        claim
+        for claim in claims.claims()
+        if claim.key in keys and claim.key not in stored_set
+    ]
+    pending = len(keys) - len(stored) - len(claimed)
+    done = len(stored) == len(keys)
+
+    width = 30
+    filled = (width * len(stored)) // len(keys) if keys else width
+    bar = "#" * filled + "." * (width - filled)
+    share = len(stored) / len(keys) if keys else 1.0
+    lines = [
+        f"grid: total={len(keys)} stored={len(stored)} "
+        f"claimed={len(claimed)} pending={pending}",
+        f"  [{bar}] {share:6.1%}",
+    ]
+
+    # Per-runner throughput from recent sidecars.
+    recent = {}
+    for key in stored:
+        sidecar = store.get_sidecar(key)
+        if sidecar is None:
+            continue
+        completed = sidecar.get("completed_unix")
+        if not isinstance(completed, (int, float)):
+            continue
+        if completed < now - window_s or completed > now + window_s:
+            continue
+        runner = str(sidecar.get("runner_id") or "unknown")
+        stats = recent.setdefault(runner, {"cells": 0, "simulate_s": 0.0})
+        stats["cells"] += 1
+        phases = (sidecar.get("telemetry") or {}).get("phases_s") or {}
+        simulate = phases.get("simulate")
+        if isinstance(simulate, (int, float)):
+            stats["simulate_s"] += simulate
+    if recent:
+        lines.append(f"runners (cells committed in the last {window_s:g}s):")
+        for runner in sorted(recent):
+            stats = recent[runner]
+            mean_sim = stats["simulate_s"] / stats["cells"]
+            lines.append(
+                f"  {runner:<28} {stats['cells']:4d} cell(s)  "
+                f"mean simulate {mean_sim:6.2f}s"
+            )
+
+    if done:
+        lines.append("grid complete")
+    else:
+        rate = sum(stats["cells"] for stats in recent.values()) / window_s
+        remaining = len(keys) - len(stored)
+        if rate > 0:
+            lines.append(
+                f"throughput {rate * 60.0:.1f} cells/min  "
+                f"ETA ~{remaining / rate:.0f}s for {remaining} cell(s)"
+            )
+        else:
+            lines.append(
+                f"throughput: no telemetry sidecars committed in the "
+                f"last {window_s:g}s; {remaining} cell(s) remaining"
+            )
+    return "\n".join(lines), done
+
+
+def _cmd_grid_watch(args: argparse.Namespace, out) -> int:
+    """Poll the store + claims until the grid completes (or --once)."""
+    from .results import ClaimStore, ResultStore
+    from .sim.errors import ConfigurationError
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=out)
+        return 2
+    if args.window <= 0:
+        print("error: --window must be positive", file=out)
+        return 2
+    try:
+        spec = _grid_spec_from_args(args)
+    except (ValueError, ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    store = ResultStore(args.store)
+    claims = ClaimStore(store.root)
+    keys = {spec.cell_key(cell) for cell in spec.expand()}
+    while True:
+        now = time.time()
+        snapshot, done = _watch_snapshot(store, claims, keys, args.window, now)
+        stamp = time.strftime("%H:%M:%S", time.localtime(now))
+        print(f"-- {stamp}  store {args.store}", file=out)
+        print(snapshot, file=out)
+        if hasattr(out, "flush"):
+            out.flush()
+        if done or args.once:
+            return 0
+        print(file=out)
+        time.sleep(args.interval)
 
 
 def _iter_store_cells(store, extract, out):
@@ -737,9 +958,98 @@ def _cmd_grid(args: argparse.Namespace, out) -> int:
     return {
         "run": _cmd_grid_run,
         "status": _cmd_grid_status,
+        "watch": _cmd_grid_watch,
         "report": _cmd_grid_report,
         "ls": _cmd_grid_ls,
     }[args.grid_command](args, out)
+
+
+def _cmd_trace_run(args: argparse.Namespace, out) -> int:
+    """Execute one cell with JSONL tracing on; print its telemetry."""
+    from .analysis.traces import read_trace, render_trace_summary, summarize_trace
+    from .experiments import ScenarioSpec, run_protocol
+    from .sim.errors import ConfigurationError
+
+    base = (
+        small_config(seed=args.seed)
+        if args.config == "small"
+        else paper_config(seed=args.seed)
+    )
+    try:
+        spec = ScenarioSpec.parse(args.scenario)
+        scenario = spec.make()
+        run = run_protocol(
+            base,
+            args.protocol,
+            max_queries=args.queries,
+            bucket_width=args.bucket or max(1, args.queries // 8),
+            scenario=scenario,
+            trace_path=args.out,
+            trace_kinds=args.kinds,
+        )
+    except (ValueError, ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    telemetry = run.telemetry.to_dict() if run.telemetry is not None else {}
+    print(
+        f"traced {args.protocol} x {spec.label} "
+        f"(config {args.config}, seed {args.seed}, {args.queries} queries)",
+        file=out,
+    )
+    tracing = telemetry.get("tracing", {})
+    print(f"  trace: {tracing.get('events_written', 0)} event(s) -> {args.out}",
+          file=out)
+    phases = telemetry.get("phases_s", {})
+    for name in ("build", "instantiate", "simulate", "finalize"):
+        if name in phases:
+            print(f"  {name:<12} {phases[name]:8.3f}s", file=out)
+    engine = telemetry.get("engine", {})
+    events_per_s = engine.get("events_per_s")
+    rate = (
+        f"{events_per_s:,.0f} events/s"
+        if isinstance(events_per_s, (int, float))
+        else "n/a"
+    )
+    print(
+        f"  engine: {engine.get('events_processed', 0)} event(s) "
+        f"({rate}), queue peak {engine.get('queue_peak', 0)}",
+        file=out,
+    )
+    print(file=out)
+    print(render_trace_summary(summarize_trace(read_trace(args.out))), file=out)
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace, out) -> int:
+    """Event counts by kind + one query's hop timeline for a trace file."""
+    from .analysis.traces import (
+        TraceParseError,
+        read_trace,
+        render_query_timeline,
+        render_trace_summary,
+        summarize_trace,
+    )
+
+    try:
+        events = read_trace(args.file)
+    except (OSError, TraceParseError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if not events:
+        print(f"no events in {args.file}", file=out)
+        return 1
+    summary = summarize_trace(events)
+    print(render_trace_summary(summary), file=out)
+    print(file=out)
+    print(render_query_timeline(summary, qid=args.query), file=out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    return {
+        "run": _cmd_trace_run,
+        "summarize": _cmd_trace_summarize,
+    }[args.trace_command](args, out)
 
 
 def _cmd_seed_sweep(args: argparse.Namespace, out) -> int:
@@ -779,6 +1089,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "grid": _cmd_grid,
+    "trace": _cmd_trace,
     "seed-sweep": _cmd_seed_sweep,
     "info": _cmd_info,
 }

@@ -55,6 +55,7 @@ class BloomRouter:
         self._period = network.config.bloom_update_period_s
         self._rng = network.streams.stream("bloom-router")
         self._processes: Dict[int, PeriodicProcess] = {}
+        self._membership_tests = network.metrics.counter("bloom.membership_tests")
 
     # -- state ------------------------------------------------------------
 
@@ -118,6 +119,12 @@ class BloomRouter:
         self._network.metrics.summary("bloom.update_bits").observe(
             float(delta.encoded_bits)
         )
+        tracer = self._network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._network.sim.now, "bloom.push",
+                peer=peer_id, bits=delta.encoded_bits, full=delta.is_full,
+            )
         for neighbor in self._network.graph.neighbors_view(peer_id):
             self._network.send(
                 peer_id,
@@ -147,10 +154,15 @@ class BloomRouter:
         keyword_list = list(keywords)
         state = self.state_of(peer)
         matches: List[int] = []
+        tested = 0
         for neighbor in self._network.graph.neighbors_view(peer.peer_id):
             if neighbor == exclude:
                 continue
             stored = state.neighbor_filters.get(neighbor)
-            if stored is not None and stored.contains_all(keyword_list):
-                matches.append(neighbor)
+            if stored is not None:
+                tested += 1
+                if stored.contains_all(keyword_list):
+                    matches.append(neighbor)
+        if tested:
+            self._membership_tests.increment(tested)
         return matches

@@ -96,11 +96,21 @@ class LocawareProtocol(SearchProtocol):
         if update.inserted_filename and keywords is not None:
             self.bloom_router.filename_cached(peer, keywords.keywords)
             self.network.metrics.counter("index.inserts").increment()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.network.sim.now, "cache.insert",
+                    peer=peer.peer_id, filename=filename,
+                )
         for evicted in update.evicted_filenames:
             record = self.network.catalog.by_filename(evicted)
             if record is not None:
                 self.bloom_router.filename_evicted(peer, record.keywords)
             self.network.metrics.counter("index.evictions").increment()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.network.sim.now, "cache.evict",
+                    peer=peer.peer_id, filename=evicted,
+                )
 
     def on_response_transit(self, peer: Peer, response: QueryResponse) -> None:
         """§4.1.2: matching-Gid peers cache all providers + the requestor."""

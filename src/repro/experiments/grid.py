@@ -36,14 +36,18 @@ Usage::
 
 from __future__ import annotations
 
+import cProfile
 import json
 import math
 import multiprocessing
+import os
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import cached_property
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -55,6 +59,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from ..analysis.persistence import grid_cell_to_document, load_grid_cell_document
@@ -908,6 +913,12 @@ class GridRunner:
         stolen mid-flight.
     clock:
         Time source for claims (injectable for lease tests).
+    profile_dir:
+        Optional directory for cProfile artifacts: each executed batch
+        dumps ``<runner>-batch<N>.pstats`` there.  With ``workers > 1``
+        the profile covers only this parent process (dispatch, document
+        serialisation, commits) — the simulations run in pool workers;
+        profile with ``workers=1`` to see simulation internals.
     """
 
     def __init__(
@@ -921,6 +932,7 @@ class GridRunner:
         poll_interval_s: float = 0.5,
         heartbeat_interval_s: Optional[float] = None,
         clock: Callable[[], float] = time.time,
+        profile_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -936,6 +948,8 @@ class GridRunner:
         self.workers = workers
         self.reuse_builds = reuse_builds
         self.store = store
+        self.profile_dir = Path(profile_dir) if profile_dir is not None else None
+        self._profiled_batches = 0
         self.poll_interval_s = poll_interval_s
         self.heartbeat_interval_s = (
             heartbeat_interval_s
@@ -966,17 +980,61 @@ class GridRunner:
         cells = self.spec.expand()
         report = GridReport(spec=self.spec)
         if self.store is None:
-            for cell, run in execute_cells(
-                self.spec,
-                cells,
-                workers=self.workers,
-                reuse_builds=self.reuse_builds,
-                progress=progress,
-            ):
-                report.executed += 1
-                report.runs[cell] = run
+            with self._profiled_batch():
+                for cell, run in execute_cells(
+                    self.spec,
+                    cells,
+                    workers=self.workers,
+                    reuse_builds=self.reuse_builds,
+                    progress=progress,
+                ):
+                    report.executed += 1
+                    report.runs[cell] = run
             return report
         return self._run_with_store(cells, report, progress)
+
+    @contextmanager
+    def _profiled_batch(self) -> Iterator[None]:
+        """Profile the enclosed batch into ``profile_dir`` (no-op without)."""
+        if self.profile_dir is None:
+            yield
+            return
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._profiled_batches += 1
+            who = self.runner_id or f"grid-{os.getpid()}"
+            self.profile_dir.mkdir(parents=True, exist_ok=True)
+            profile.dump_stats(
+                self.profile_dir / f"{who}-batch{self._profiled_batches:03d}.pstats"
+            )
+
+    def _put_telemetry_sidecar(self, key: str, run: Any) -> None:
+        """Persist a freshly executed cell's telemetry next to its document.
+
+        Best-effort by design: the sidecar is operational metadata
+        (wall-clock values, runner identity) outside the scientific
+        result, so a failed write must never fail the committed cell.
+        """
+        telemetry = getattr(run, "telemetry", None)
+        if telemetry is None:
+            return
+        sidecar = {
+            "kind": "telemetry-sidecar",
+            "format_version": 1,
+            "key": key,
+            "runner_id": self.runner_id,
+            "workers": self.workers,
+            "completed_unix": time.time(),
+            "telemetry": telemetry.to_dict(),
+        }
+        try:
+            self.store.put_sidecar(key, sidecar)
+        except (OSError, ValueError):
+            pass
 
     # -- the claim-aware store path ------------------------------------
 
@@ -1193,33 +1251,35 @@ class GridRunner:
         held = {keys[cell] for cell in claimed}
         done = 0
         try:
-            for cell, run in execute_cells(
-                self.spec,
-                claimed,
-                workers=self.workers,
-                reuse_builds=self.reuse_builds,
-                progress=progress,
-                progress_offset=report.executed + report.cached,
-                progress_total=self.spec.num_cells,
-                pool=pool,
-            ):
-                key = keys[cell]
-                document = grid_cell_to_document(
-                    cell,
-                    run,
-                    key=key,
-                    max_queries=self.spec.max_queries,
-                    bucket_width=self.spec.bucket_width,
-                    topology_fingerprint=payloads[cell][
-                        "topology_fingerprint"
-                    ],
-                )
-                self.store.put(key, document)
-                ticker.release(key)
-                held.discard(key)
-                report.runs[cell] = load_grid_cell_document(document)
-                report.executed += 1
-                done += 1
+            with self._profiled_batch():
+                for cell, run in execute_cells(
+                    self.spec,
+                    claimed,
+                    workers=self.workers,
+                    reuse_builds=self.reuse_builds,
+                    progress=progress,
+                    progress_offset=report.executed + report.cached,
+                    progress_total=self.spec.num_cells,
+                    pool=pool,
+                ):
+                    key = keys[cell]
+                    document = grid_cell_to_document(
+                        cell,
+                        run,
+                        key=key,
+                        max_queries=self.spec.max_queries,
+                        bucket_width=self.spec.bucket_width,
+                        topology_fingerprint=payloads[cell][
+                            "topology_fingerprint"
+                        ],
+                    )
+                    self.store.put(key, document)
+                    self._put_telemetry_sidecar(key, run)
+                    ticker.release(key)
+                    held.discard(key)
+                    report.runs[cell] = load_grid_cell_document(document)
+                    report.executed += 1
+                    done += 1
         finally:
             # Interrupted mid-batch (exception, KeyboardInterrupt):
             # drop the claims we still hold so a surviving runner can

@@ -15,6 +15,7 @@ event queue alive forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 from ..analysis.collectors import (
@@ -33,7 +34,8 @@ from ..protocols.dicas_keys import DicasKeysProtocol
 from ..protocols.flooding import FloodingProtocol
 from ..scenarios import Scenario, ScenarioContext, get_scenario
 from ..sim.config import SimulationConfig
-from ..sim.tracing import Tracer
+from ..sim.telemetry import PhaseTimers, RunTelemetry, collect_run_telemetry
+from ..sim.tracing import JsonlTracer, Tracer
 from ..workload.generator import QueryWorkload
 from ..workload.shifting import ShiftingZipfWorkload
 
@@ -77,6 +79,12 @@ class ProtocolRun:
     metric_snapshot: Dict[str, float]
     scenario_name: Optional[str] = None
     """Registered scenario the run used, if any."""
+
+    telemetry: Optional[RunTelemetry] = None
+    """Operational sidecar (wall-clock phases, engine stats, counters).
+
+    Never part of persisted documents or determinism fingerprints — two
+    identical runs legitimately differ here."""
 
 
 @dataclass
@@ -137,6 +145,9 @@ def run_protocol(
     popularity_shift_s: Optional[float] = None,
     scenario: Union[Scenario, str, None] = None,
     blueprint: Optional[NetworkBlueprint] = None,
+    trace_path: Optional[Union[str, Path]] = None,
+    trace_kinds: Optional[Sequence[str]] = None,
+    collect_telemetry: bool = True,
 ) -> ProtocolRun:
     """Run one protocol to completion and collect its metrics.
 
@@ -154,11 +165,26 @@ def run_protocol(
     instead of building the world from scratch.  It must carry the same
     topology fingerprint as the *effective* configuration (after the
     scenario's overrides); results are byte-identical either way.
+
+    ``trace_path`` streams every trace event to a JSONL file (see
+    :class:`~repro.sim.tracing.JsonlTracer`); ``trace_kinds`` optionally
+    restricts the recorded kinds.  Mutually exclusive with ``tracer``.
+    Tracing never changes results — outcomes, metric snapshots, and
+    fingerprints are byte-identical with tracing on or off.
+
+    ``collect_telemetry`` attaches a
+    :class:`~repro.sim.telemetry.RunTelemetry` sidecar to the returned
+    run (wall-clock phases, event-loop stats, operational counters);
+    it too is inert — assembled read-only after the run finishes.
     """
     if max_queries < 1:
         raise ValueError(f"max_queries must be >= 1, got {max_queries}")
     if scenario is not None and popularity_shift_s is not None:
         raise ValueError("scenario and popularity_shift_s are mutually exclusive")
+    if trace_path is not None and tracer is not None:
+        raise ValueError("trace_path and tracer are mutually exclusive")
+    if trace_kinds is not None and trace_path is None:
+        raise ValueError("trace_kinds requires trace_path")
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if scenario is not None:
@@ -173,68 +199,90 @@ def run_protocol(
                 "declaration or the overrides"
             )
         config = configured
-    if blueprint is not None:
-        if not blueprint.compatible_with(config):
-            raise ValueError(
-                "blueprint is topology-incompatible with the effective "
-                f"configuration of this run (protocol {protocol_name!r}, "
-                f"scenario {scenario.name if scenario else None!r})"
+    own_tracer: Optional[JsonlTracer] = None
+    if trace_path is not None:
+        own_tracer = JsonlTracer(
+            trace_path, kinds=list(trace_kinds) if trace_kinds is not None else None
+        )
+        tracer = own_tracer
+    timers = PhaseTimers()
+    try:
+        if blueprint is not None:
+            if not blueprint.compatible_with(config):
+                raise ValueError(
+                    "blueprint is topology-incompatible with the effective "
+                    f"configuration of this run (protocol {protocol_name!r}, "
+                    f"scenario {scenario.name if scenario else None!r})"
+                )
+            with timers.phase("instantiate"):
+                network = blueprint.instantiate(config=config, tracer=tracer)
+        else:
+            with timers.phase("build"):
+                built = NetworkBlueprint.build(config)
+            with timers.phase("instantiate"):
+                network = built.instantiate(tracer=tracer)
+        with timers.phase("instantiate"):
+            protocol = make_protocol(
+                protocol_name, network, location_aware_routing=location_aware_routing
             )
-        network = blueprint.instantiate(config=config, tracer=tracer)
-    else:
-        network = P2PNetwork.build(config, tracer=tracer)
-    protocol = make_protocol(
-        protocol_name, network, location_aware_routing=location_aware_routing
-    )
-    protocol.start()
-    churn: Optional[ChurnProcess] = None
-    if config.churn_enabled:
-        churn = ChurnProcess(
-            network,
-            config.mean_session_s,
-            config.mean_downtime_s,
-            network.streams.stream("churn"),
-            on_rejoin=lambda pid: protocol.init_peer(network.peer(pid)),
-        )
-        churn.start()
-    if scenario is not None:
-        workload: QueryWorkload = scenario.build_workload(
-            network, protocol.issue_query, max_queries
-        )
-    elif popularity_shift_s is not None:
-        workload = ShiftingZipfWorkload(
-            network,
-            protocol.issue_query,
-            shift_interval_s=popularity_shift_s,
-            max_queries=max_queries,
-        )
-    else:
-        workload = QueryWorkload(
-            network, protocol.issue_query, max_queries=max_queries
-        )
-    if scenario is not None:
-        scenario.install(
-            ScenarioContext(
-                network=network, protocol=protocol, workload=workload, churn=churn
+            protocol.start()
+            churn: Optional[ChurnProcess] = None
+            if config.churn_enabled:
+                churn = ChurnProcess(
+                    network,
+                    config.mean_session_s,
+                    config.mean_downtime_s,
+                    network.streams.stream("churn"),
+                    on_rejoin=lambda pid: protocol.init_peer(network.peer(pid)),
+                )
+                churn.start()
+            if scenario is not None:
+                workload: QueryWorkload = scenario.build_workload(
+                    network, protocol.issue_query, max_queries
+                )
+            elif popularity_shift_s is not None:
+                workload = ShiftingZipfWorkload(
+                    network,
+                    protocol.issue_query,
+                    shift_interval_s=popularity_shift_s,
+                    max_queries=max_queries,
+                )
+            else:
+                workload = QueryWorkload(
+                    network, protocol.issue_query, max_queries=max_queries
+                )
+            if scenario is not None:
+                scenario.install(
+                    ScenarioContext(
+                        network=network, protocol=protocol, workload=workload,
+                        churn=churn,
+                    )
+                )
+        with timers.phase("simulate"):
+            workload.start()
+            _drive(network, protocol, workload, max_queries)
+            stop = getattr(protocol, "stop", None)
+            if callable(stop):
+                stop()
+        with timers.phase("finalize"):
+            run = ProtocolRun(
+                protocol_name=protocol_name,
+                config=config,
+                outcomes=list(protocol.outcomes),
+                summary=summarize_outcomes(protocol.outcomes),
+                series=collect_series(protocol.outcomes, bucket_width),
+                locally_satisfied=protocol.local_satisfactions,
+                sim_time_s=network.sim.now,
+                events_processed=network.sim.events_processed,
+                metric_snapshot=network.metrics.snapshot(),
+                scenario_name=scenario.name if scenario is not None else None,
             )
-        )
-    workload.start()
-    _drive(network, protocol, workload, max_queries)
-    stop = getattr(protocol, "stop", None)
-    if callable(stop):
-        stop()
-    return ProtocolRun(
-        protocol_name=protocol_name,
-        config=config,
-        outcomes=list(protocol.outcomes),
-        summary=summarize_outcomes(protocol.outcomes),
-        series=collect_series(protocol.outcomes, bucket_width),
-        locally_satisfied=protocol.local_satisfactions,
-        sim_time_s=network.sim.now,
-        events_processed=network.sim.events_processed,
-        metric_snapshot=network.metrics.snapshot(),
-        scenario_name=scenario.name if scenario is not None else None,
-    )
+    finally:
+        if own_tracer is not None:
+            own_tracer.close()
+    if collect_telemetry:
+        run.telemetry = collect_run_telemetry(network, timers, tracer=tracer)
+    return run
 
 
 def _drive(

@@ -47,6 +47,8 @@ class ChurnProcess:
         self._on_rejoin = on_rejoin
         self.departures = 0
         self.rejoins = 0
+        self._leave_counter = network.metrics.counter("churn.leaves")
+        self._rejoin_counter = network.metrics.counter("churn.rejoins")
 
     @property
     def mean_session_s(self) -> float:
@@ -93,9 +95,12 @@ class ChurnProcess:
         if self._network.graph.contains(peer_id):
             self._network.graph.remove_peer(peer_id)
         peer.reset_session_state()
+        self._leave_counter.increment()
         if self._on_leave is not None:
             self._on_leave(peer_id)
-        self._network.tracer.emit(self._network.sim.now, "churn.leave", peer=peer_id)
+        tracer = self._network.tracer
+        if tracer.enabled:
+            tracer.emit(self._network.sim.now, "churn.leave", peer=peer_id)
         self._schedule_rejoin(peer_id)
 
     def _rejoin(self, peer_id: int) -> None:
@@ -106,7 +111,10 @@ class ChurnProcess:
         self.rejoins += 1
         links = max(1, round(self._network.config.mean_degree))
         self._network.graph.add_peer(peer_id, links, self._rng)
+        self._rejoin_counter.increment()
         if self._on_rejoin is not None:
             self._on_rejoin(peer_id)
-        self._network.tracer.emit(self._network.sim.now, "churn.rejoin", peer=peer_id)
+        tracer = self._network.tracer
+        if tracer.enabled:
+            tracer.emit(self._network.sim.now, "churn.rejoin", peer=peer_id)
         self._schedule_departure(peer_id)

@@ -90,6 +90,11 @@ class SearchProtocol:
     def __init__(self, network: P2PNetwork) -> None:
         self.network = network
         self.config = network.config
+        # Hot-path aliases: the tracer (emits are guarded with
+        # ``if self.tracer.enabled:`` so disabled tracing costs one
+        # attribute check) and the per-lifecycle counters.
+        self.tracer = network.tracer
+        self._index_lookups = network.metrics.counter("index.lookups")
         self._next_query_id = 0
         self._query_index = 0
         self._contexts: Dict[int, QueryContext] = {}
@@ -170,10 +175,11 @@ class SearchProtocol:
         )
         self._contexts[query_id] = context
         self.network.metrics.counter("queries.issued").increment()
-        self.network.tracer.emit(
-            self.network.sim.now, "query.issue", qid=query_id, origin=origin,
-            keywords=keywords,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "query.issue", qid=query_id, origin=origin,
+                keywords=keywords,
+            )
         query = Query(
             query_id=query_id,
             origin=origin,
@@ -187,10 +193,16 @@ class SearchProtocol:
         # The origin may hold a matching index itself (its response
         # index is the first place to look; its file store was checked
         # above).
+        self._index_lookups.increment()
         cached = self.check_index(origin_peer, query)
         answered = False
         if cached is not None:
             self._record_hit()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.network.sim.now, "query.hit",
+                    qid=query_id, peer=origin, source="index",
+                )
             self._deliver_to_origin(origin_peer, cached)
             answered = True
         if not answered or self.forward_after_hit:
@@ -222,6 +234,12 @@ class SearchProtocol:
             )
         else:
             copy = query.forwarded(peer.peer_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "query.forward",
+                qid=query.query_id, peer=peer.peer_id, ttl=copy.ttl,
+                targets=list(targets),
+            )
         for target in targets:
             self.network.send(
                 peer.peer_id,
@@ -243,18 +261,26 @@ class SearchProtocol:
     def _process_query_at(self, peer: Peer, query: Query) -> None:
         """Store check → index check → forward (§3.1 + §4.2)."""
         answered = False
+        source = "store"
         local_match = peer.store.first_match(query.keywords)
         if local_match is not None:
             response = self.build_store_response(peer, query, local_match)
             self._route_response(peer.peer_id, response)
             answered = True
         else:
+            self._index_lookups.increment()
             cached = self.check_index(peer, query)
             if cached is not None:
                 self._route_response(peer.peer_id, cached)
                 answered = True
+                source = "index"
         if answered:
             self._record_hit()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.network.sim.now, "query.hit",
+                    qid=query.query_id, peer=peer.peer_id, source=source,
+                )
         if not answered or self.forward_after_hit:
             self._forward(peer, query)
 
@@ -319,10 +345,11 @@ class SearchProtocol:
             self.network.metrics.counter("responses.late_or_extra").increment()
             return
         context.responses.append(response)
-        self.network.tracer.emit(
-            self.network.sim.now, "response.delivered",
-            qid=response.query_id, responder=response.responder,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "response.delivered",
+                qid=response.query_id, responder=response.responder,
+            )
         if context.selection_handle is None:
             context.selection_handle = self.network.sim.schedule(
                 self.config.response_window_s, self._run_selection, response.query_id
@@ -361,11 +388,12 @@ class SearchProtocol:
             context.origin, provider.peer_id
         )
         self.network.metrics.counter("queries.succeeded").increment()
-        self.network.tracer.emit(
-            self.network.sim.now, "query.satisfied",
-            qid=query_id, provider=provider.peer_id,
-            distance_ms=context.download_distance_ms,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "query.satisfied",
+                qid=query_id, provider=provider.peer_id,
+                distance_ms=context.download_distance_ms,
+            )
         # Natural replication: the requestor becomes a provider once the
         # direct-connection download completes (§3.1).
         transfer_s = 2.0 * self.network.underlay.rtt_ms(
@@ -399,6 +427,12 @@ class SearchProtocol:
         messages = self.network.forget_query_messages(query_id)
         if not context.success:
             self.network.metrics.counter("queries.failed").increment()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "query.finalize",
+                qid=query_id, success=context.success, messages=messages,
+                responses=len(context.responses),
+            )
         self.outcomes.append(
             QueryOutcome(
                 query_id=context.query_id,

@@ -93,6 +93,11 @@ class DicasProtocol(SearchProtocol):
         provider = response.providers[0]
         self.index_of(peer).put(response.filename, provider)
         self.network.metrics.counter("index.inserts").increment()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "cache.insert",
+                peer=peer.peer_id, filename=response.filename,
+            )
 
     def check_index(self, peer: Peer, query: Query) -> Optional[QueryResponse]:
         hit = self.index_of(peer).lookup(query.keywords)

@@ -65,3 +65,8 @@ class DicasKeysProtocol(DicasProtocol):
         provider = response.providers[0]
         self.index_of(peer).put(response.filename, provider)
         self.network.metrics.counter("index.inserts").increment()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.network.sim.now, "cache.insert",
+                peer=peer.peer_id, filename=response.filename,
+            )

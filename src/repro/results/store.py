@@ -182,6 +182,61 @@ class ResultStore:
         except FileNotFoundError:
             return False
 
+    # -- telemetry sidecars ------------------------------------------------
+    #
+    # A sidecar is advisory operational metadata (wall-clock phases,
+    # throughput) written *next to* a cell document.  Its stem is not a
+    # cell key, so :meth:`keys` never lists it, content-addressed keys
+    # never cover it, and resume semantics ignore it entirely.
+
+    #: Filename suffix of telemetry sidecars: ``<key>.telemetry.json``.
+    SIDECAR_SUFFIX = ".telemetry.json"
+
+    def sidecar_path_for(self, key: str) -> Path:
+        """Where the telemetry sidecar for ``key`` lives (if any)."""
+        self._check_key(key)
+        return self.root / key[:2] / f"{key}{self.SIDECAR_SUFFIX}"
+
+    def put_sidecar(self, key: str, document: Dict[str, Any]) -> Path:
+        """Atomically persist a telemetry sidecar next to ``key``.
+
+        Same atomicity and strict serialisation as :meth:`put`.  The
+        sidecar may be written before, after, or without the cell
+        document — readers must treat it as best-effort metadata.
+        """
+        encoded = json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
+        path = self.sidecar_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.parent / f".{key}.telemetry.{os.getpid()}.tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+            handle.write("\n")
+        os.replace(temporary, path)
+        return path
+
+    def get_sidecar(self, key: str) -> Union[Dict[str, Any], None]:
+        """The telemetry sidecar for ``key``, or None.
+
+        Sidecars are advisory: absent, unparseable, or non-object
+        sidecars all read as None (no quarantine, no exception) — a
+        damaged sidecar must never make a cell look broken.
+        """
+        try:
+            with open(self.sidecar_path_for(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def sidecar_keys(self) -> Iterator[str]:
+        """Every key that has a telemetry sidecar, in sorted order."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob(f"??/*{self.SIDECAR_SUFFIX}")):
+            key = path.name[: -len(self.SIDECAR_SUFFIX)]
+            if is_cell_key(key) and key[:2] == path.parent.name:
+                yield key
+
     def keys(self) -> Iterator[str]:
         """Every stored key, in sorted (deterministic) order.
 

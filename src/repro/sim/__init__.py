@@ -24,7 +24,15 @@ from .errors import (
 )
 from .metrics import BucketedSeries, Counter, MetricRegistry, Summary
 from .rng import RandomStreams, derive_seed
-from .tracing import NullTracer, PrintTracer, RecordingTracer, TraceEvent, Tracer
+from .telemetry import PhaseTimers, RunTelemetry, collect_run_telemetry
+from .tracing import (
+    JsonlTracer,
+    NullTracer,
+    PrintTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "Simulator",
@@ -37,10 +45,14 @@ __all__ = [
     "Summary",
     "BucketedSeries",
     "MetricRegistry",
+    "PhaseTimers",
+    "RunTelemetry",
+    "collect_run_telemetry",
     "Tracer",
     "NullTracer",
     "RecordingTracer",
     "PrintTracer",
+    "JsonlTracer",
     "TraceEvent",
     "SimulationError",
     "ConfigurationError",

@@ -72,6 +72,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._queue_peak = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -89,6 +90,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still in the queue (including lazily cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def queue_peak(self) -> int:
+        """High-water mark of the future event list (cancelled events included)."""
+        return self._queue_peak
 
     # -- scheduling ----------------------------------------------------------
 
@@ -116,6 +122,8 @@ class Simulator:
         handle = EventHandle(time)
         heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
         self._seq += 1
+        if len(self._queue) > self._queue_peak:
+            self._queue_peak = len(self._queue)
         return handle
 
     # -- running ---------------------------------------------------------------

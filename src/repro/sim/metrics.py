@@ -279,11 +279,23 @@ class MetricRegistry:
         return sorted(self._series)
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat dict of every counter value and summary mean, for reports."""
+        """Flat dict of every registered metric, for reports.
+
+        Counters contribute their value; summaries their full statistics
+        (``mean``/``count``/``min``/``max``/``stddev``, the latter three
+        ``nan`` when undersampled); series their ``overall_mean`` and
+        ``sample_count``.
+        """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
             out[f"counter.{name}"] = float(counter.value)
         for name, summary in self._summaries.items():
             out[f"summary.{name}.mean"] = summary.mean
             out[f"summary.{name}.count"] = float(summary.count)
+            out[f"summary.{name}.min"] = summary.min
+            out[f"summary.{name}.max"] = summary.max
+            out[f"summary.{name}.stddev"] = summary.stddev
+        for name, series in self._series.items():
+            out[f"series.{name}.overall_mean"] = series.overall_mean()
+            out[f"series.{name}.sample_count"] = float(series.sample_count)
         return out

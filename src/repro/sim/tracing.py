@@ -2,20 +2,36 @@
 
 Tracing is off by default (a :class:`NullTracer` swallows everything at
 near-zero cost).  Attach a :class:`RecordingTracer` to capture events
-for assertions in tests, or a :class:`PrintTracer` to watch a run live.
+for assertions in tests, a :class:`PrintTracer` to watch a run live, or
+a :class:`JsonlTracer` to stream events to a JSON-lines file for
+offline analysis (``repro trace summarize``).
 
 Trace events are ``(time, kind, payload)`` triples; ``kind`` is a short
 string such as ``"query.issue"`` or ``"cache.insert"`` and ``payload``
 is a small dict.  Protocols emit traces through the shared tracer held
 by the simulation context, so enabling tracing never changes behaviour.
+
+The ``enabled`` contract: hot paths may skip payload construction
+entirely with ``if tracer.enabled:``, and :meth:`Tracer.emit` itself
+must behave as a no-op whenever ``enabled`` is false — flipping the
+flag mid-run silences a tracer without detaching it.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer", "RecordingTracer", "PrintTracer"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "PrintTracer",
+    "JsonlTracer",
+]
 
 
 @dataclass(frozen=True)
@@ -50,9 +66,12 @@ class RecordingTracer(Tracer):
 
     def __init__(self, kinds: Optional[List[str]] = None) -> None:
         self._filter = set(kinds) if kinds is not None else None
+        self.enabled = True
         self.events: List[TraceEvent] = []
 
     def emit(self, time: float, kind: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
         if self._filter is not None and kind not in self._filter:
             return
         self.events.append(TraceEvent(time, kind, payload))
@@ -73,9 +92,85 @@ class RecordingTracer(Tracer):
 class PrintTracer(Tracer):
     """Writes events through a callable (default: ``print``), for debugging."""
 
-    def __init__(self, sink: Callable[[str], None] = print) -> None:
+    def __init__(
+        self,
+        sink: Callable[[str], None] = print,
+        kinds: Optional[List[str]] = None,
+    ) -> None:
         self._sink = sink
+        self._filter = set(kinds) if kinds is not None else None
+        self.enabled = True
 
     def emit(self, time: float, kind: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self._filter is not None and kind not in self._filter:
+            return
         details = " ".join(f"{k}={v!r}" for k, v in payload.items())
         self._sink(f"[{time:12.3f}] {kind:<24} {details}")
+
+
+def _json_fallback(value: Any) -> str:
+    """Serialise payload values json can't handle (peers, paths, sets...)."""
+    return repr(value)
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a JSON-lines file, one object per event.
+
+    Each line is ``{"t": <sim time>, "kind": <kind>, ...payload}``;
+    payload keys that would collide with ``t``/``kind`` are dropped in
+    favour of the canonical fields.  Non-JSON-able payload values fall
+    back to their ``repr``.
+
+    ``kinds`` optionally restricts which event kinds are written, and
+    ``limit`` caps the number of written events (further events are
+    counted in :attr:`events_dropped` but not written), bounding trace
+    size on long runs.  Close the tracer (or use it as a context
+    manager) to flush the file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        kinds: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self.path = Path(path)
+        self._filter = set(kinds) if kinds is not None else None
+        self._limit = limit
+        self._handle: Optional[Any] = self.path.open("w", encoding="utf-8")
+        self.enabled = True
+        self.events_written = 0
+        self.events_dropped = 0
+
+    def emit(self, time: float, kind: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self._filter is not None and kind not in self._filter:
+            return
+        if self._handle is None:
+            raise ValueError(f"JsonlTracer({str(self.path)!r}) is closed")
+        if self._limit is not None and self.events_written >= self._limit:
+            self.events_dropped += 1
+            return
+        record: Dict[str, Any] = {"t": time, "kind": kind}
+        for key, value in payload.items():
+            if key not in record:
+                record[key] = value
+        self._handle.write(json.dumps(record, default=_json_fallback) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file.  Idempotent."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

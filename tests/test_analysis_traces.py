@@ -1,0 +1,122 @@
+"""Unit tests for JSONL trace reading and summarising."""
+
+import pytest
+
+from repro.analysis.traces import (
+    TraceParseError,
+    read_trace,
+    render_query_timeline,
+    render_trace_summary,
+    summarize_trace,
+)
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+SAMPLE = (
+    '{"t": 1.0, "kind": "query.issue", "qid": 1, "origin": 7}\n'
+    '{"t": 1.5, "kind": "query.forward", "qid": 1, "peer": 7, "ttl": 6}\n'
+    '{"t": 2.0, "kind": "query.hit", "qid": 1, "peer": 3}\n'
+    '{"t": 3.0, "kind": "query.issue", "qid": 2, "origin": 9}\n'
+    '{"t": 4.0, "kind": "bloom.push", "peer": 5, "bits": 12}\n'
+)
+
+
+class TestReadTrace:
+    def test_reads_events_in_order(self, tmp_path):
+        events = read_trace(_write(tmp_path, SAMPLE))
+        assert len(events) == 5
+        assert events[0]["kind"] == "query.issue"
+        assert events[-1]["kind"] == "bloom.push"
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        events = read_trace(
+            _write(tmp_path, '\n{"t": 1.0, "kind": "x"}\n\n')
+        )
+        assert len(events) == 1
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = _write(tmp_path, '{"t": 1.0, "kind": "x"}\n{broken\n')
+        with pytest.raises(TraceParseError, match="line 2"):
+            read_trace(path)
+
+    def test_missing_kind_rejected(self, tmp_path):
+        path = _write(tmp_path, '{"t": 1.0}\n')
+        with pytest.raises(TraceParseError, match="line 1"):
+            read_trace(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = _write(tmp_path, "[1, 2]\n")
+        with pytest.raises(TraceParseError, match="line 1"):
+            read_trace(path)
+
+
+class TestSummarizeTrace:
+    def test_kind_counts(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        assert summary.total_events == 5
+        assert summary.kind_counts == {
+            "query.issue": 2,
+            "query.forward": 1,
+            "query.hit": 1,
+            "bloom.push": 1,
+        }
+
+    def test_queries_grouped_by_qid(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        assert sorted(summary.queries) == [1, 2]
+        assert [e["kind"] for e in summary.queries[1]] == [
+            "query.issue",
+            "query.forward",
+            "query.hit",
+        ]
+
+    def test_time_span(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        assert summary.first_t == 1.0
+        assert summary.last_t == 4.0
+        assert summary.span_s == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.total_events == 0
+        assert summary.queries == {}
+        assert summary.span_s == 0.0
+
+
+class TestRendering:
+    def test_summary_table_sorted_by_count(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        rendered = render_trace_summary(summary)
+        assert "query.issue" in rendered
+        assert "total events: 5" in rendered
+        assert "queries traced: 2" in rendered
+        # Most frequent kind listed first.
+        assert rendered.index("query.issue") < rendered.index("bloom.push")
+
+    def test_timeline_defaults_to_first_query(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        rendered = render_query_timeline(summary)
+        assert "Query 1 timeline" in rendered
+        assert "query.forward" in rendered
+        assert "ttl=6" in rendered
+
+    def test_timeline_for_chosen_query(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        rendered = render_query_timeline(summary, qid=2)
+        assert "Query 2 timeline" in rendered
+        assert "origin=9" in rendered
+
+    def test_timeline_unknown_query_lists_known(self, tmp_path):
+        summary = summarize_trace(read_trace(_write(tmp_path, SAMPLE)))
+        rendered = render_query_timeline(summary, qid=99)
+        assert "no events for query 99" in rendered
+        assert "1, 2" in rendered
+
+    def test_timeline_without_queries(self):
+        rendered = render_query_timeline(summarize_trace([]))
+        assert "no query events" in rendered

@@ -586,3 +586,161 @@ class TestClaimsScenarioNote:
         _code, text = run_cli("claims", "--load", str(path))
         assert "scenario 'cold-start'" in text
         assert "baseline regime" in text
+
+
+class TestTraceCommand:
+    def test_trace_run_writes_parseable_jsonl(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, output = run_cli(
+            "trace", "run", "--protocol", "locaware", "--config", "small",
+            "--queries", "20", "--seed", "3", "--out", str(trace),
+        )
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        assert events
+        assert all("t" in e and "kind" in e for e in events)
+        assert "Trace events by kind" in output
+        assert "query.issue" in output
+
+    def test_trace_run_kinds_filter(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli(
+            "trace", "run", "--protocol", "flooding", "--config", "small",
+            "--queries", "10", "--out", str(trace),
+            "--kinds", "query.issue",
+        )
+        assert code == 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        }
+        assert kinds == {"query.issue"}
+
+    def test_trace_run_rejects_unknown_scenario(self, tmp_path):
+        code, output = run_cli(
+            "trace", "run", "--scenario", "no-such-scenario",
+            "--out", str(tmp_path / "t.jsonl"),
+        )
+        assert code == 2
+        assert "error" in output
+
+    @pytest.mark.parametrize(
+        "protocol", ["flooding", "dicas", "dicas-keys", "locaware"]
+    )
+    def test_trace_summarize_all_protocols(self, tmp_path, protocol):
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli(
+            "trace", "run", "--protocol", protocol, "--config", "small",
+            "--queries", "15", "--out", str(trace),
+        )
+        assert code == 0
+        code, output = run_cli("trace", "summarize", str(trace))
+        assert code == 0
+        assert "Trace events by kind" in output
+        assert "query.issue" in output
+        assert "timeline" in output
+
+    def test_trace_summarize_specific_query(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        run_cli(
+            "trace", "run", "--protocol", "locaware", "--config", "small",
+            "--queries", "15", "--out", str(trace),
+        )
+        code, output = run_cli("trace", "summarize", str(trace), "--query", "2")
+        assert code == 0
+        assert "Query 2 timeline" in output
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        code, output = run_cli(
+            "trace", "summarize", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 2
+        assert "error" in output
+
+    def test_trace_summarize_corrupt_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t": 1.0, "kind": "x"}\n{oops\n', encoding="utf-8")
+        code, output = run_cli("trace", "summarize", str(bad))
+        assert code == 2
+        assert "line 2" in output
+
+    def test_trace_summarize_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code, output = run_cli("trace", "summarize", str(empty))
+        assert code == 1
+        assert "no events" in output
+
+
+class TestGridWatchCommand:
+    AXIS = ["--config", "small", "--protocols", "locaware",
+            "--scenarios", "baseline", "--seeds", "1", "--queries", "10"]
+
+    def test_watch_empty_store_once(self, tmp_path):
+        code, output = run_cli(
+            "grid", "watch", "--store", str(tmp_path / "store"),
+            *self.AXIS, "--once",
+        )
+        assert code == 0
+        assert "total=1 stored=0" in output
+        assert "pending=1" in output
+
+    def test_watch_complete_store_exits_without_once(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, _ = run_cli("grid", "run", "--store", store, *self.AXIS)
+        assert code == 0
+        # Not --once: the loop must still terminate because the grid is done.
+        code, output = run_cli("grid", "watch", "--store", store, *self.AXIS)
+        assert code == 0
+        assert "stored=1" in output
+        assert "grid complete" in output
+
+    def test_watch_reports_runner_throughput(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(
+            "grid", "run", "--store", store, "--runner-id", "watcher-test",
+            *self.AXIS,
+        )
+        code, output = run_cli(
+            "grid", "watch", "--store", store, *self.AXIS, "--once"
+        )
+        assert code == 0
+        assert "watcher-test" in output
+        assert "mean simulate" in output
+
+    def test_watch_rejects_bad_interval(self, tmp_path):
+        code, output = run_cli(
+            "grid", "watch", "--store", str(tmp_path / "s"),
+            *self.AXIS, "--interval", "0",
+        )
+        assert code == 2
+        assert "interval" in output
+
+    def test_watch_rejects_bad_window(self, tmp_path):
+        code, output = run_cli(
+            "grid", "watch", "--store", str(tmp_path / "s"),
+            *self.AXIS, "--window", "-5",
+        )
+        assert code == 2
+        assert "window" in output
+
+
+class TestGridProfileOption:
+    def test_profile_flag_dumps_pstats(self, tmp_path):
+        import pstats
+
+        profile_dir = tmp_path / "prof"
+        code, output = run_cli(
+            "grid", "run", "--store", str(tmp_path / "store"),
+            "--config", "small", "--protocols", "locaware",
+            "--scenarios", "baseline", "--seeds", "1", "--queries", "10",
+            "--profile", str(profile_dir),
+        )
+        assert code == 0
+        assert "profiling" in output
+        dumps = sorted(profile_dir.glob("*.pstats"))
+        assert dumps
+        assert pstats.Stats(str(dumps[0])).total_calls > 0

@@ -336,3 +336,79 @@ class TestBlueprintEquivalence:
             assert run_fingerprint(scratch_run) == run_fingerprint(
                 reuse_parallel.runs[cell]
             ), f"reuse-builds run diverged from scratch at {cell}"
+
+
+class TestTelemetryNeutrality:
+    """The observability layer must be provably inert.
+
+    Tracing and telemetry are operational sidecars: turning them on (or
+    off) must never change outcomes, metric snapshots, stored documents,
+    or content-addressed keys — the fifth guarantee locked in here.
+    """
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_traced_run_fingerprints_like_untraced(self, protocol, tmp_path):
+        untraced = run_protocol(
+            _config(), protocol, max_queries=40, bucket_width=20,
+            collect_telemetry=False,
+        )
+        traced = run_protocol(
+            _config(), protocol, max_queries=40, bucket_width=20,
+            trace_path=tmp_path / "trace.jsonl",
+        )
+        assert run_fingerprint(untraced) == run_fingerprint(traced)
+        # The traced run really did trace (the comparison is not vacuous).
+        assert traced.telemetry is not None
+        assert traced.telemetry.tracing["events_written"] > 0
+
+    def test_telemetry_never_enters_stored_documents(self):
+        from repro.analysis.persistence import run_to_document
+
+        run = run_protocol(_config(), "locaware", max_queries=20, bucket_width=10)
+        assert run.telemetry is not None
+        document = run_to_document(run)
+        assert "telemetry" not in json.dumps(document)
+
+    def test_warm_grid_rerun_executes_zero_cells(self, tmp_path):
+        from repro.results import ResultStore
+
+        spec = GridSpec(
+            base_config=_config(),
+            protocols=["locaware", "flooding"],
+            scenarios=["baseline"],
+            seeds=[1],
+            max_queries=20,
+            bucket_width=10,
+        )
+        store = ResultStore(tmp_path / "store")
+        cold = GridRunner(spec, store=store).run()
+        assert cold.executed == 2
+        # Sidecars were written next to the documents...
+        assert len(list(store.sidecar_keys())) == 2
+        # ...but the store's key space and resume semantics ignore them:
+        warm = GridRunner(spec, store=store).run()
+        assert warm.executed == 0
+        assert warm.cached == 2
+
+    def test_sidecar_does_not_change_document_bytes(self, tmp_path):
+        from repro.results import ResultStore
+
+        spec = GridSpec(
+            base_config=_config(),
+            protocols=["locaware"],
+            scenarios=["baseline"],
+            seeds=[1],
+            max_queries=20,
+            bucket_width=10,
+        )
+        with_sidecar = ResultStore(tmp_path / "a")
+        GridRunner(spec, store=with_sidecar).run()
+        (key,) = list(with_sidecar.keys())
+
+        bare = ResultStore(tmp_path / "b")
+        GridRunner(spec, store=bare).run()
+        assert list(bare.keys()) == [key]
+        assert (
+            with_sidecar.path_for(key).read_bytes()
+            == bare.path_for(key).read_bytes()
+        )

@@ -895,3 +895,71 @@ class TestInFlightHeartbeat:
         assert report.executed == 4
         assert list(runner.claims.claims()) == []
         assert not list(runner.claims.directory.glob("*"))
+
+
+class TestTelemetrySidecarsAndProfiling:
+    def _small_spec(self):
+        return _spec(
+            protocols=("locaware",), scenarios=("baseline",), seeds=(1,)
+        )
+
+    def test_store_backed_run_writes_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = self._small_spec()
+        GridRunner(spec, store=store).run()
+        (key,) = list(store.keys())
+        sidecar = store.get_sidecar(key)
+        assert sidecar is not None
+        assert sidecar["kind"] == "telemetry-sidecar"
+        assert sidecar["key"] == key
+        assert sidecar["telemetry"]["phases_s"]["simulate"] >= 0.0
+        assert sidecar["telemetry"]["engine"]["events_processed"] > 0
+        assert isinstance(sidecar["completed_unix"], float)
+
+    def test_sidecar_stamps_runner_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = GridRunner(
+            self._small_spec(), store=store, runner_id="r-1", workers=1
+        )
+        runner.run()
+        (key,) = list(store.keys())
+        sidecar = store.get_sidecar(key)
+        assert sidecar["runner_id"] == "r-1"
+        assert sidecar["workers"] == 1
+
+    def test_cached_cells_do_not_rewrite_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = self._small_spec()
+        GridRunner(spec, store=store).run()
+        (key,) = list(store.keys())
+        before = store.sidecar_path_for(key).stat().st_mtime_ns
+        GridRunner(spec, store=store).run()
+        assert store.sidecar_path_for(key).stat().st_mtime_ns == before
+
+    def test_profile_dir_gets_per_batch_pstats(self, tmp_path):
+        import pstats
+
+        store = ResultStore(tmp_path / "store")
+        profile_dir = tmp_path / "prof"
+        runner = GridRunner(
+            self._small_spec(),
+            store=store,
+            runner_id="prof-runner",
+            profile_dir=profile_dir,
+        )
+        runner.run()
+        dumps = sorted(profile_dir.glob("*.pstats"))
+        assert dumps
+        assert all(path.name.startswith("prof-runner-batch") for path in dumps)
+        stats = pstats.Stats(str(dumps[0]))
+        assert stats.total_calls > 0
+
+    def test_storeless_run_profiles_too(self, tmp_path):
+        profile_dir = tmp_path / "prof"
+        GridRunner(self._small_spec(), profile_dir=profile_dir).run()
+        assert sorted(profile_dir.glob("*.pstats"))
+
+    def test_no_profile_dir_no_dumps(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        GridRunner(self._small_spec(), store=store).run()
+        assert not list(tmp_path.glob("**/*.pstats"))

@@ -262,3 +262,53 @@ class TestStrictJSON:
         # rejected put leaves nothing for clean_tmp to sweep.
         assert list(tmp_path.rglob("*.tmp")) == []
         assert len(store) == 0
+
+
+class TestTelemetrySidecars:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        document = {"kind": "telemetry-sidecar", "telemetry": {"x": 1.5}}
+        path = store.put_sidecar(KEY_A, document)
+        assert path.name == f"{KEY_A}.telemetry.json"
+        assert store.get_sidecar(KEY_A) == document
+
+    def test_absent_reads_none(self, tmp_path):
+        assert ResultStore(tmp_path).get_sidecar(KEY_A) is None
+
+    def test_corrupt_sidecar_reads_none_without_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_sidecar(KEY_A, {"ok": True})
+        store.sidecar_path_for(KEY_A).write_text("{trunca", encoding="utf-8")
+        assert store.get_sidecar(KEY_A) is None
+        # Advisory data is never quarantined: the damaged file stays put.
+        assert store.sidecar_path_for(KEY_A).is_file()
+
+    def test_non_object_sidecar_reads_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_sidecar(KEY_A, {"ok": True})
+        store.sidecar_path_for(KEY_A).write_text("[1, 2]\n", encoding="utf-8")
+        assert store.get_sidecar(KEY_A) is None
+
+    def test_sidecars_invisible_to_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"doc": 1})
+        store.put_sidecar(KEY_A, {"side": 1})
+        store.put_sidecar(KEY_B, {"side": 2})
+        assert list(store.keys()) == [KEY_A]
+        assert len(store) == 1
+
+    def test_sidecar_keys_lists_only_sidecars(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, {"doc": 1})
+        store.put_sidecar(KEY_B, {"side": 2})
+        assert list(store.sidecar_keys()) == [KEY_B]
+
+    def test_sidecar_rejects_non_finite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put_sidecar(KEY_A, {"bad": float("nan")})
+        assert store.get_sidecar(KEY_A) is None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).put_sidecar("nope", {})

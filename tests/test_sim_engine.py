@@ -336,3 +336,30 @@ class TestRunEdgeCases:
             handle.cancel()
         assert sim.peek_time() == survivor_time
         assert sim.pending_events == 1
+
+
+class TestQueuePeak:
+    def test_starts_at_zero(self):
+        assert Simulator().queue_peak == 0
+
+    def test_tracks_high_water_mark(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.queue_peak == 3
+        sim.run()
+        # Draining the queue does not lower the recorded peak.
+        assert sim.queue_peak == 3
+
+    def test_counts_events_scheduled_while_running(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule(2.0, lambda: None))
+        sim.run()
+        assert sim.queue_peak == 1
+
+    def test_cancelled_events_still_count(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(t + 1), lambda: None) for t in range(4)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.queue_peak == 4

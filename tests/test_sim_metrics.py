@@ -190,3 +190,31 @@ class TestMetricRegistry:
         reg.counter("b")
         reg.counter("a")
         assert reg.counter_names() == ["a", "b"]
+
+
+class TestSnapshotDetail:
+    def test_summary_min_max_stddev_exported(self):
+        reg = MetricRegistry()
+        reg.summary("lat").observe_many([1.0, 2.0, 3.0])
+        snap = reg.snapshot()
+        assert snap["summary.lat.min"] == 1.0
+        assert snap["summary.lat.max"] == 3.0
+        assert snap["summary.lat.stddev"] == pytest.approx(1.0)
+
+    def test_empty_summary_detail_is_nan(self):
+        reg = MetricRegistry()
+        reg.summary("lat")
+        snap = reg.snapshot()
+        assert math.isnan(snap["summary.lat.min"])
+        assert math.isnan(snap["summary.lat.max"])
+        assert math.isnan(snap["summary.lat.stddev"])
+
+    def test_series_overall_mean_and_sample_count(self):
+        reg = MetricRegistry()
+        series = reg.series("hops", bucket_width=10)
+        series.record(1, 2.0)
+        series.record(5, 4.0)
+        series.record(15, 6.0)
+        snap = reg.snapshot()
+        assert snap["series.hops.overall_mean"] == pytest.approx(4.0)
+        assert snap["series.hops.sample_count"] == 3.0

@@ -1,6 +1,10 @@
 """Unit tests for the tracing hooks."""
 
-from repro.sim import NullTracer, PrintTracer, RecordingTracer
+import json
+
+import pytest
+
+from repro.sim import JsonlTracer, NullTracer, PrintTracer, RecordingTracer
 
 
 class TestNullTracer:
@@ -52,6 +56,16 @@ class TestRecordingTracer:
         assert tracer.events == []
 
 
+    def test_disabled_records_nothing(self):
+        tracer = RecordingTracer()
+        tracer.enabled = False
+        tracer.emit(0.0, "x")
+        assert tracer.events == []
+        tracer.enabled = True
+        tracer.emit(1.0, "x")
+        assert len(tracer.events) == 1
+
+
 class TestPrintTracer:
     def test_writes_through_sink(self):
         lines = []
@@ -60,3 +74,98 @@ class TestPrintTracer:
         assert len(lines) == 1
         assert "query.issue" in lines[0]
         assert "qid=3" in lines[0]
+
+    def test_kinds_filter(self):
+        lines = []
+        tracer = PrintTracer(sink=lines.append, kinds=["keep"])
+        tracer.emit(0.0, "keep")
+        tracer.emit(0.0, "drop")
+        assert len(lines) == 1
+        assert "keep" in lines[0]
+
+    def test_disabled_prints_nothing(self):
+        lines = []
+        tracer = PrintTracer(sink=lines.append)
+        tracer.enabled = False
+        tracer.emit(0.0, "x")
+        assert lines == []
+
+
+class TestJsonlTracer:
+    def test_writes_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(1.0, "query.issue", qid=1, origin=7)
+            tracer.emit(2.5, "query.hit", qid=1, peer=3)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events == [
+            {"t": 1.0, "kind": "query.issue", "qid": 1, "origin": 7},
+            {"t": 2.5, "kind": "query.hit", "qid": 1, "peer": 3},
+        ]
+        assert tracer.events_written == 2
+
+    def test_kinds_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path, kinds=["keep"]) as tracer:
+            tracer.emit(0.0, "keep")
+            tracer.emit(0.0, "drop")
+        assert tracer.events_written == 1
+        (event,) = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert event["kind"] == "keep"
+
+    def test_limit_counts_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path, limit=2) as tracer:
+            for i in range(5):
+                tracer.emit(float(i), "x")
+        assert tracer.events_written == 2
+        assert tracer.events_dropped == 3
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_negative_limit_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTracer(tmp_path / "t.jsonl", limit=-1)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()  # idempotent
+        with pytest.raises(ValueError):
+            tracer.emit(0.0, "x")
+
+    def test_disabled_suppresses_emit(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.enabled = False
+            tracer.emit(0.0, "x")
+        assert tracer.events_written == 0
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_non_jsonable_payload_falls_back_to_repr(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(0.0, "x", value={1, 2})
+        (event,) = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert event["value"] == repr({1, 2})
+
+    def test_payload_cannot_shadow_canonical_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            # A payload key named "t" must not clobber the canonical
+            # sim-time field ("kind" cannot even be passed: it collides
+            # with the positional parameter).
+            tracer.emit(1.0, "x", t=999.0, extra=5)
+        (event,) = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert event["t"] == 1.0
+        assert event["kind"] == "x"
+        assert event["extra"] == 5

@@ -7,7 +7,9 @@ tunable through environment variables so CI can run a cheap pass:
 - ``REPRO_BENCH_QUERIES``  — query horizon per protocol (default 1500);
 - ``REPRO_BENCH_ABLATION_QUERIES`` — per-run horizon for ablation
   sweeps (default 400);
-- ``REPRO_BENCH_SEED``     — master seed (default: the paper-date seed).
+- ``REPRO_BENCH_SEED``     — master seed (default: the paper-date seed);
+- ``REPRO_BENCH_STORE_CELLS`` — cell count for the store-backend
+  crossover bench (default 10000).
 
 Output: every bench prints the regenerated figure/table through
 ``capsys.disabled()`` so the series appear on the terminal (and in
@@ -61,6 +63,11 @@ def bench_seed() -> int:
     return _env_int("REPRO_BENCH_SEED", 20090322)
 
 
+def store_cells() -> int:
+    """Store-backend bench cell count (env-tunable)."""
+    return _env_int("REPRO_BENCH_STORE_CELLS", 10_000)
+
+
 @pytest.fixture(scope="session")
 def figure_comparison():
     """The shared §5.1 four-protocol comparison behind Figures 2-4."""
@@ -69,6 +76,12 @@ def figure_comparison():
         max_queries=bench_queries(),
         bucket_width=BENCH_BUCKET_WIDTH,
     )
+
+
+@pytest.fixture()
+def store_bench_cells() -> int:
+    """The store-backend bench's cell count (``REPRO_BENCH_STORE_CELLS``)."""
+    return store_cells()
 
 
 @pytest.fixture()

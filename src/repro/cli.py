@@ -29,7 +29,11 @@ Subcommands:
   and an ETA, while concurrent ``grid run`` processes fill the store;
   ``grid run --profile DIR`` dumps per-batch cProfile artifacts;
   ``grid report`` aggregates a store from disk, ``grid ls`` lists the
-  stored cells;
+  stored cells; every store-touching subcommand takes ``--backend
+  {auto,json,sqlite}`` to pick between the sharded-JSON file layout
+  and a single WAL-mode SQLite database (one fsync per committed
+  batch; ``auto`` detects an existing SQLite store), and ``grid
+  migrate SRC DST`` copies a store across backends byte-identically;
 - ``trace``    — observability for single cells: ``trace run`` executes
   one cell with JSONL tracing on and prints its telemetry (wall-clock
   phases, events/sec, per-kind event counts); ``trace summarize``
@@ -56,6 +60,8 @@ Examples::
     repro-locaware grid watch --store shared --config small --seeds 1 2
     repro-locaware grid report --store results
     repro-locaware grid ls --store results
+    repro-locaware grid run --store bigstore --backend sqlite --seeds 1 2
+    repro-locaware grid migrate results results-sqlite
     repro-locaware trace run --protocol locaware --config small --out t.jsonl
     repro-locaware trace summarize t.jsonl --query 3
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
@@ -300,9 +306,31 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="aggregate a result store incrementally from disk"
     )
     grid_report.add_argument("--store", metavar="DIR", default="results")
+    _add_backend_option(grid_report)
 
     grid_ls = grid_sub.add_parser("ls", help="list the stored cells")
     grid_ls.add_argument("--store", metavar="DIR", default="results")
+    _add_backend_option(grid_ls)
+
+    grid_migrate = grid_sub.add_parser(
+        "migrate",
+        help="copy a result store to another backend byte-identically "
+        "(documents and telemetry sidecars; active claims stay behind)",
+    )
+    grid_migrate.add_argument("src", metavar="SRC", help="source store")
+    grid_migrate.add_argument("dst", metavar="DST", help="destination store")
+    grid_migrate.add_argument(
+        "--from-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="source backend (default: auto-detect)",
+    )
+    grid_migrate.add_argument(
+        "--to-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="destination backend (default: the opposite of the source)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -381,6 +409,18 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20090322)
 
 
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    """The ``--backend`` flag shared by every store-touching command."""
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="result-store backend: sharded JSON files or one WAL-mode "
+        "SQLite database; 'auto' (default) detects an existing SQLite "
+        "store by its store.sqlite file and otherwise uses json",
+    )
+
+
 def _add_grid_axis_options(parser: argparse.ArgumentParser) -> None:
     """The store + grid-axis flags shared by ``grid run`` and ``grid
     status`` (status must describe exactly the grid run executes)."""
@@ -390,6 +430,7 @@ def _add_grid_axis_options(parser: argparse.ArgumentParser) -> None:
         default="results",
         help="result-store directory (default: results)",
     )
+    _add_backend_option(parser)
     parser.add_argument(
         "--spec",
         metavar="FILE",
@@ -631,7 +672,7 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
             spec,
             workers=args.workers,
             reuse_builds=args.reuse_builds,
-            store=ResultStore(args.store),
+            store=ResultStore(args.store, backend=args.backend),
             runner_id=args.runner_id,
             lease_ttl_s=lease_ttl,
             profile_dir=args.profile,
@@ -666,7 +707,7 @@ def _cmd_grid_run(args: argparse.Namespace, out) -> int:
         f"cached={report.cached}{quarantined} in {time.time() - started:.1f}s",
         file=out,
     )
-    print(f"  store: {args.store}\n", file=out)
+    print(f"  store: {args.store} [{runner.store.backend_name}]\n", file=out)
     print(render_sweep_report(report), file=out)
     return 0
 
@@ -681,8 +722,11 @@ def _cmd_grid_status(args: argparse.Namespace, out) -> int:
     except (ValueError, ConfigurationError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
-    store = ResultStore(args.store)
-    claims = ClaimStore(store.root)
+    store = ResultStore(args.store, backend=args.backend)
+    # Share the store's backend so a SQLite store's claim rows are
+    # visible here — constructing a fresh file-layout ClaimStore
+    # against a row-backed store would silently report zero claims.
+    claims = ClaimStore(store.root, backend=store.backend)
     keys = {spec.cell_key(cell) for cell in spec.expand()}
     stored = sum(1 for key in keys if store.has(key))
     # A cell both stored and claimed (crash between commit and
@@ -810,8 +854,8 @@ def _cmd_grid_watch(args: argparse.Namespace, out) -> int:
     except (ValueError, ConfigurationError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
-    store = ResultStore(args.store)
-    claims = ClaimStore(store.root)
+    store = ResultStore(args.store, backend=args.backend)
+    claims = ClaimStore(store.root, backend=store.backend)
     keys = {spec.cell_key(cell) for cell in spec.expand()}
     while True:
         now = time.time()
@@ -863,7 +907,9 @@ def _in_flight_note(store, out) -> None:
     """One line about claims other runners currently hold, if any."""
     from .results import ClaimStore
 
-    in_flight = sum(1 for _ in ClaimStore(store.root).claims())
+    in_flight = sum(
+        1 for _ in ClaimStore(store.root, backend=store.backend).claims()
+    )
     if in_flight:
         print(
             f"  note: {in_flight} cell(s) in flight (claimed by active "
@@ -882,7 +928,7 @@ def _cmd_grid_report(args: argparse.Namespace, out) -> int:
     from .analysis.persistence import load_grid_cell_document
     from .results import ResultStore
 
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, backend=args.backend)
     aggregator = SweepAggregator()
     cells = 0
 
@@ -921,7 +967,7 @@ def _cmd_grid_ls(args: argparse.Namespace, out) -> int:
     from .analysis.tables import format_table
     from .results import ResultStore
 
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, backend=args.backend)
     rows = []
 
     def extract(document):
@@ -954,6 +1000,85 @@ def _cmd_grid_ls(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_grid_migrate(args: argparse.Namespace, out) -> int:
+    """Copy a result store across backends, byte-identically.
+
+    Documents and telemetry sidecars cross as their raw serialized
+    text (the exact bytes the json backend keeps on disk), so the
+    destination answers every read identically to the source — the
+    copy is verified key by key before reporting success.  Claims are
+    transient runner state and are *not* migrated; migrating a store
+    with active claims gets a warning, not a refusal.
+    """
+    from pathlib import Path
+
+    from .results import ClaimStore, ResultStore
+
+    if Path(args.src).resolve() == Path(args.dst).resolve():
+        print("error: SRC and DST must be different directories", file=out)
+        return 2
+    try:
+        src = ResultStore(args.src, backend=args.from_backend)
+        to_backend = args.to_backend
+        if to_backend == "auto" and not Path(args.dst).exists():
+            # The natural migration is a conversion: default the
+            # destination to the backend the source is not.
+            to_backend = "json" if src.backend_name == "sqlite" else "sqlite"
+        dst = ResultStore(args.dst, backend=to_backend)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    print(
+        f"migrate: {args.src} [{src.backend_name}] -> "
+        f"{args.dst} [{dst.backend_name}]",
+        file=out,
+    )
+    try:
+        keys = list(src.keys())
+        if not keys:
+            _no_cells_message(src, argparse.Namespace(store=args.src), out)
+            return 1
+        sidecars = 0
+        with dst.batch():
+            for key in keys:
+                dst.put_raw(key, src.get_raw(key))
+                raw_sidecar = src.get_sidecar_raw(key)
+                if raw_sidecar is not None:
+                    dst.put_sidecar_raw(key, raw_sidecar)
+                    sidecars += 1
+        mismatched = [
+            key
+            for key in keys
+            if dst.get_raw(key) != src.get_raw(key)
+            or dst.get_sidecar_raw(key) != src.get_sidecar_raw(key)
+        ]
+        if mismatched:
+            print(
+                f"error: {len(mismatched)} migrated cell(s) differ from "
+                f"the source (first: {mismatched[0][:12]}…)",
+                file=out,
+            )
+            return 2
+        in_flight = sum(
+            1 for _ in ClaimStore(src.root, backend=src.backend).claims()
+        )
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if in_flight:
+        print(
+            f"  warning: {in_flight} active claim(s) on the source were "
+            "not migrated; runners writing to SRC will not see DST",
+            file=out,
+        )
+    print(
+        f"  migrated {len(keys)} cell(s) and {sidecars} sidecar(s); "
+        "all documents byte-identical",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_grid(args: argparse.Namespace, out) -> int:
     return {
         "run": _cmd_grid_run,
@@ -961,6 +1086,7 @@ def _cmd_grid(args: argparse.Namespace, out) -> int:
         "watch": _cmd_grid_watch,
         "report": _cmd_grid_report,
         "ls": _cmd_grid_ls,
+        "migrate": _cmd_grid_migrate,
     }[args.grid_command](args, out)
 
 

@@ -963,6 +963,10 @@ class GridRunner:
                 lease_ttl_s=lease_ttl_s,
                 workers=workers,
                 clock=clock,
+                # Share the store's backend so claims and results live
+                # in the same place (same claims/ directory, or the
+                # same SQLite database and connection).
+                backend=store.backend,
             )
             if store is not None
             else None
@@ -1240,50 +1244,63 @@ class GridRunner:
 
         Workers (when ``pool`` is given) only simulate: every ``(cell,
         run)`` comes back to this parent process, which alone runs the
-        commit protocol — atomic ``put`` first, release second — so
-        the PR-4 invariants survive ``--workers`` unchanged.  A crash
-        between put and release leaves a stored cell plus an orphaned
-        claim, which the next runner's :meth:`ClaimStore.prune`
-        clears.  The ``ticker`` keeps every still-running claim live
-        in the background, so neither a long batch nor a single long
-        cell can go stale mid-flight.
+        commit protocol — durable ``put`` first, release second — so
+        the PR-4 invariants survive ``--workers`` unchanged.  Puts go
+        through :meth:`ResultStore.batch` (one fsync per claimed batch
+        on the sqlite backend, a no-op on json), and every claim is
+        released only *after* the batch context exits — i.e. after its
+        cell's document is durably committed on every backend — so a
+        crash mid-batch leaves stored-but-claimed cells (cleared by
+        the next runner's :meth:`ClaimStore.prune`), never
+        released-but-unstored ones.  The ``ticker`` keeps every
+        still-running claim live in the background, so neither a long
+        batch nor a single long cell can go stale mid-flight.
         """
         held = {keys[cell] for cell in claimed}
+        committed: List[str] = []
         done = 0
         try:
             with self._profiled_batch():
-                for cell, run in execute_cells(
-                    self.spec,
-                    claimed,
-                    workers=self.workers,
-                    reuse_builds=self.reuse_builds,
-                    progress=progress,
-                    progress_offset=report.executed + report.cached,
-                    progress_total=self.spec.num_cells,
-                    pool=pool,
-                ):
-                    key = keys[cell]
-                    document = grid_cell_to_document(
-                        cell,
-                        run,
-                        key=key,
-                        max_queries=self.spec.max_queries,
-                        bucket_width=self.spec.bucket_width,
-                        topology_fingerprint=payloads[cell][
-                            "topology_fingerprint"
-                        ],
-                    )
-                    self.store.put(key, document)
-                    self._put_telemetry_sidecar(key, run)
-                    ticker.release(key)
-                    held.discard(key)
-                    report.runs[cell] = load_grid_cell_document(document)
-                    report.executed += 1
-                    done += 1
+                with self.store.batch():
+                    for cell, run in execute_cells(
+                        self.spec,
+                        claimed,
+                        workers=self.workers,
+                        reuse_builds=self.reuse_builds,
+                        progress=progress,
+                        progress_offset=report.executed + report.cached,
+                        progress_total=self.spec.num_cells,
+                        pool=pool,
+                    ):
+                        key = keys[cell]
+                        document = grid_cell_to_document(
+                            cell,
+                            run,
+                            key=key,
+                            max_queries=self.spec.max_queries,
+                            bucket_width=self.spec.bucket_width,
+                            topology_fingerprint=payloads[cell][
+                                "topology_fingerprint"
+                            ],
+                        )
+                        self.store.put(key, document)
+                        self._put_telemetry_sidecar(key, run)
+                        committed.append(key)
+                        report.runs[cell] = load_grid_cell_document(document)
+                        report.executed += 1
+                        done += 1
+            # The batch is durable: now (and only now) stop
+            # heartbeating and hand the finished cells back.
+            for key in committed:
+                ticker.release(key)
+                held.discard(key)
         finally:
             # Interrupted mid-batch (exception, KeyboardInterrupt):
-            # drop the claims we still hold so a surviving runner can
-            # take the cells immediately instead of after a stale TTL.
+            # buffered puts were still flushed by ``batch()`` on the
+            # way out, so every key in ``held`` is either committed or
+            # never executed — drop the claims we still hold so a
+            # surviving runner can take the cells immediately instead
+            # of after a stale TTL.
             for key in held:
                 ticker.release(key)
         return done

@@ -1,13 +1,11 @@
 """Lease-based work claims over a shared result store.
 
-N independent ``GridRunner`` processes pointed at one store directory
-partition a grid dynamically: before executing a cell, a runner
-*claims* its key; only the claim holder simulates the cell, commits
-the result document, and releases the claim.  Everyone else either
-finds the cell already stored (cache hit) or already claimed (skip,
-revisit later).  The protocol is pure filesystem — no server, no
-locks held across processes — so it works on any shared directory
-where ``O_CREAT | O_EXCL`` is atomic.
+N independent ``GridRunner`` processes pointed at one store partition
+a grid dynamically: before executing a cell, a runner *claims* its
+key; only the claim holder simulates the cell, commits the result
+document, and releases the claim.  Everyone else either finds the
+cell already stored (cache hit) or already claimed (skip, revisit
+later).
 
 Claim lifecycle::
 
@@ -17,21 +15,32 @@ Claim lifecycle::
                    │                        │
                    └──◀── stale, reclaimed ─┘
 
-One claim = one file ``<root>/claims/<key>.claim`` holding the runner
-id and a heartbeat timestamp.  Creation uses ``O_CREAT | O_EXCL``, so
-exactly one runner wins a pending cell.  The holder re-stamps the
-heartbeat as it finishes other cells; a claim whose heartbeat is older
-than its lease TTL is *stale* — its runner is presumed dead — and any
-runner may reclaim it.  Reclaiming renames the stale file to a
-per-thief graveyard name first (``os.rename`` succeeds for exactly one
-thief) and then re-runs the normal exclusive create, so a stale cell
-is re-executed exactly once no matter how many runners notice it.
+This class owns the *policy* — runner identity, lease TTLs, staleness
+arithmetic, who may steal what — while the storage *mechanism* comes
+from the same backend as the result store
+(:mod:`repro.results.backends`):
+
+- the **json** backend keeps one file ``<root>/claims/<key>.claim``
+  per claim.  Creation uses ``O_CREAT | O_EXCL``, so exactly one
+  runner wins a pending cell; stealing a stale claim renames it to a
+  per-thief graveyard name first (``os.rename`` succeeds for exactly
+  one thief) and re-runs the exclusive create.  Pure filesystem — it
+  works on any shared directory where ``O_CREAT | O_EXCL`` is atomic.
+- the **sqlite** backend keeps claims as rows in the store database;
+  ``BEGIN IMMEDIATE`` plays the role of ``O_CREAT | O_EXCL`` and the
+  one-thief-wins steal is a guarded ``UPDATE`` under the same write
+  lock.
+
+The holder re-stamps its heartbeat as it finishes other cells; a
+claim whose heartbeat is older than its lease TTL is *stale* — its
+runner is presumed dead — and any runner may reclaim it.
 
 Two hazards are deliberately tolerated rather than prevented:
 
-- A claim file observed mid-write (created but not yet filled) parses
+- A claim observed mid-write (file created but not yet filled) parses
   as unreadable; it is treated as live until its *mtime* exceeds the
-  TTL, so a torn read never causes an early steal.
+  TTL, so a torn read never causes an early steal.  (Row-backed
+  claims are always well-formed; this path is json-only.)
 - A runner that outlives its own lease (suspended longer than the TTL
   between heartbeats) may race its thief.  Both then execute the same
   cell, but cells are deterministic and content-addressed, so both
@@ -42,16 +51,15 @@ Two hazards are deliberately tolerated rather than prevented:
 
 from __future__ import annotations
 
-import json
 import os
 import socket
 import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Union
 
-from .store import check_key, is_cell_key
+from .backends import ClaimRecord, StoreBackend, check_key, resolve_backend
 
 __all__ = ["Claim", "ClaimStore", "DEFAULT_LEASE_TTL_S", "default_runner_id"]
 
@@ -78,7 +86,7 @@ def default_runner_id() -> str:
 
 @dataclass(frozen=True)
 class Claim:
-    """One claim file, decoded: who holds a cell and how fresh they are."""
+    """One stored claim, decoded: who holds a cell and how fresh they are."""
 
     key: str
     runner_id: str
@@ -86,9 +94,9 @@ class Claim:
     heartbeat_at: float
     lease_ttl_s: float
     #: How many worker processes the holder fans its cells across
-    #: (1 for claim files written before the field existed).
+    #: (1 for claims written before the field existed).
     workers: int = 1
-    #: False when the claim file could not be parsed (e.g. observed
+    #: False when the stored claim could not be parsed (e.g. observed
     #: mid-write); timestamps then come from the file's mtime.
     readable: bool = True
 
@@ -106,14 +114,15 @@ class Claim:
 
 
 class ClaimStore:
-    """Claim files for one result-store directory.
+    """Claims for one result store.
 
     Parameters
     ----------
     root:
-        The *result store* root; claims live under ``<root>/claims``.
+        The *result store* root; file-backed claims live under
+        ``<root>/claims``, row-backed ones in the store database.
     runner_id:
-        This process's identity in claim files (default: host-pid-nonce).
+        This process's identity in claims (default: host-pid-nonce).
     lease_ttl_s:
         TTL stamped into claims this runner takes.  Staleness of a
         *foreign* claim is judged by the TTL recorded in that claim,
@@ -124,6 +133,11 @@ class ClaimStore:
         throwing at its cells.
     clock:
         Time source (injectable so tests can age leases instantly).
+    backend:
+        Storage mechanism: a name, ``"auto"`` (detects an existing
+        SQLite store), or — the common case inside ``GridRunner`` —
+        the :class:`ResultStore`'s own backend instance, so claims
+        and results share one connection.
     """
 
     def __init__(
@@ -133,12 +147,14 @@ class ClaimStore:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         workers: int = 1,
         clock: Callable[[], float] = time.time,
+        backend: Union[str, StoreBackend, None] = "auto",
     ) -> None:
         if lease_ttl_s < 0:
             raise ValueError(f"lease_ttl_s must be >= 0, got {lease_ttl_s}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.root = Path(root)
+        self.backend = resolve_backend(self.root, backend)
         self.runner_id = runner_id if runner_id is not None else default_runner_id()
         if not self.runner_id or not set(self.runner_id) <= _RUNNER_ID_CHARS:
             raise ValueError(
@@ -151,13 +167,12 @@ class ClaimStore:
 
     @property
     def directory(self) -> Path:
-        """Where the claim files live."""
+        """Where file-backed claims live (json backend only)."""
         return self.root / "claims"
 
     def path_for(self, key: str) -> Path:
-        """The claim file for ``key`` (whether or not it exists)."""
-        check_key(key)
-        return self.directory / f"{key}.claim"
+        """The claim file for ``key`` (file backends only)."""
+        return self.backend.claim_path(key)
 
     # -- taking and keeping a claim ------------------------------------
 
@@ -167,18 +182,13 @@ class ClaimStore:
         A live foreign claim loses the race (returns False); a stale
         one is reclaimed.  Never blocks.
         """
-        path = self.path_for(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        if self._create(path):
-            return True
-        claim = self._load(key, path)
-        if claim is None:
-            # Released between our create attempt and the read: one
-            # more exclusive create, then give up to whoever won.
-            return self._create(path)
-        if not claim.is_stale(self.clock()):
-            return False
-        return self._steal(path)
+        check_key(key)
+        return self.backend.claim_acquire(
+            key,
+            self.runner_id,
+            self._fresh_fields,
+            lambda record: self._decode(key, record).is_stale(self.clock()),
+        )
 
     def heartbeat(self, key: str) -> bool:
         """Re-stamp our claim on ``key``; False if the claim was lost.
@@ -188,168 +198,99 @@ class ClaimStore:
         caller should finish anyway (results are deterministic) but
         must not release the thief's claim.
         """
-        path = self.path_for(key)
-        claim = self._load(key, path)
+        check_key(key)
+        claim = self.get(key)
         if claim is None or claim.runner_id != self.runner_id:
             return False
-        now = self.clock()
-        payload = self._payload(claimed_at=claim.claimed_at, now=now)
-        temporary = self.directory / f".{key}.{self.runner_id}.hb.tmp"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        try:
-            os.replace(temporary, path)
-        except FileNotFoundError:
-            # The temp file was swept from under us (an over-eager
-            # cleaner) — the claim itself still stands, so report the
-            # heartbeat as failed rather than crash the batch.
-            return False
-        return True
+        return self.backend.claim_heartbeat(
+            key, self.runner_id, self._fields(claimed_at=claim.claimed_at)
+        )
 
     def release(self, key: str) -> bool:
         """Drop our claim on ``key``; False if we did not hold it."""
-        path = self.path_for(key)
-        claim = self._load(key, path)
+        check_key(key)
+        claim = self.get(key)
         if claim is None or claim.runner_id != self.runner_id:
             return False
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            return False
-        return True
+        return self.backend.claim_release(key, self.runner_id)
 
     # -- observing claims ----------------------------------------------
 
     def get(self, key: str) -> Optional[Claim]:
         """The current claim on ``key``, or None if unclaimed."""
-        return self._load(key, self.path_for(key))
+        check_key(key)
+        record = self.backend.claim_load(key)
+        if record is None:
+            return None
+        return self._decode(key, record)
 
     def claims(self) -> Iterator[Claim]:
         """Every current claim, sorted by key."""
-        if not self.directory.is_dir():
-            return
-        for path in sorted(self.directory.glob("*.claim")):
-            key = path.name[: -len(".claim")]
-            if is_cell_key(key):
-                claim = self._load(key, path)
-                if claim is not None:
-                    yield claim
+        for key, record in self.backend.claim_list():
+            yield self._decode(key, record)
 
     def prune(self, is_settled: Callable[[str], bool]) -> int:
         """Crash recovery: drop claims whose cell no longer needs one.
 
-        Removes claim files for keys ``is_settled`` confirms (their
-        result was committed before the holder died) plus graveyard
-        and heartbeat temp files orphaned by a crash mid-steal or
-        mid-heartbeat — but only litter older than this store's lease
-        TTL, so a runner joining mid-sweep never yanks a live runner's
-        in-flight heartbeat file.  Returns the number of files
-        removed.  Stale claims on *unsettled* cells are left for
-        :meth:`try_claim`'s reclaim path, which re-executes them
-        exactly once.
+        Removes claims for keys ``is_settled`` confirms (their result
+        was committed before the holder died), plus — on the json
+        backend — graveyard and heartbeat temp files orphaned by a
+        crash mid-steal or mid-heartbeat, but only litter older than
+        this store's lease TTL, so a runner joining mid-sweep never
+        yanks a live runner's in-flight heartbeat file.  Returns the
+        number of entries removed.  Stale claims on *unsettled* cells
+        are left for :meth:`try_claim`'s reclaim path, which
+        re-executes them exactly once.
         """
-        if not self.directory.is_dir():
-            return 0
-        removed = 0
         cutoff = self.clock() - self.lease_ttl_s
-        for path in list(self.directory.glob("*.claim.stale.*")) + list(
-            self.directory.glob(".*.tmp")
-        ):
-            try:
-                if path.stat().st_mtime > cutoff:
-                    continue
-                path.unlink()
-                removed += 1
-            except FileNotFoundError:
-                pass
-        for path in list(self.directory.glob("*.claim")):
-            key = path.name[: -len(".claim")]
-            if is_cell_key(key) and is_settled(key):
-                try:
-                    path.unlink()
-                    removed += 1
-                except FileNotFoundError:
-                    pass
-        return removed
+        return self.backend.claim_prune(is_settled, cutoff)
 
     # -- internals -----------------------------------------------------
 
-    def _payload(self, claimed_at: float, now: float) -> str:
-        return (
-            json.dumps(
-                {
-                    "runner_id": self.runner_id,
-                    "claimed_at": claimed_at,
-                    "heartbeat_at": now,
-                    "lease_ttl_s": self.lease_ttl_s,
-                    "workers": self.workers,
-                },
-                sort_keys=True,
-            )
-            + "\n"
-        )
+    def _fields(self, claimed_at: float) -> Dict[str, Any]:
+        return {
+            "runner_id": self.runner_id,
+            "claimed_at": claimed_at,
+            "heartbeat_at": self.clock(),
+            "lease_ttl_s": self.lease_ttl_s,
+            "workers": self.workers,
+        }
 
-    def _create(self, path: Path) -> bool:
-        """One exclusive-create attempt; True iff we made the file."""
+    def _fresh_fields(self) -> Dict[str, Any]:
         now = self.clock()
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-        except FileExistsError:
-            return False
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(self._payload(claimed_at=now, now=now))
-        return True
+        return {
+            "runner_id": self.runner_id,
+            "claimed_at": now,
+            "heartbeat_at": now,
+            "lease_ttl_s": self.lease_ttl_s,
+            "workers": self.workers,
+        }
 
-    def _steal(self, path: Path) -> bool:
-        """Reclaim a stale claim; True iff we now hold it.
+    def _decode(self, key: str, record: ClaimRecord) -> Claim:
+        """Turn one stored record into a :class:`Claim`.
 
-        The rename moves the stale file to a name no other runner
-        targets, so exactly one of any number of simultaneous thieves
-        wins it; the winner then competes in a normal exclusive create
-        (it may still lose that to a runner that arrived after the
-        rename — fine, *someone* holds the cell exactly once).
+        A record whose payload is missing or malformed — a claim file
+        observed mid-write, or a foreign format — is attributed to
+        nobody and judged by its storage mtime, so a torn read never
+        causes an early steal.
         """
-        grave = path.with_name(f"{path.name}.stale.{self.runner_id}")
-        try:
-            os.rename(path, grave)
-        except FileNotFoundError:
-            return False
-        try:
-            grave.unlink()
-        except FileNotFoundError:
-            pass
-        return self._create(path)
-
-    def _load(self, key: str, path: Path) -> Optional[Claim]:
-        """Decode one claim file; None if absent, mtime-based if torn."""
-        try:
-            raw = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
-        except OSError:
-            return None
-        try:
-            doc = json.loads(raw)
-            return Claim(
-                key=key,
-                runner_id=str(doc["runner_id"]),
-                claimed_at=float(doc["claimed_at"]),
-                heartbeat_at=float(doc["heartbeat_at"]),
-                lease_ttl_s=float(doc["lease_ttl_s"]),
-                workers=int(doc.get("workers", 1)),
-            )
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Torn or foreign-format claim: judge staleness by mtime,
-            # attribute it to nobody.
+        if record.fields is not None:
             try:
-                mtime = path.stat().st_mtime
-            except FileNotFoundError:
-                return None
-            return Claim(
-                key=key,
-                runner_id="<unreadable>",
-                claimed_at=mtime,
-                heartbeat_at=mtime,
-                lease_ttl_s=self.lease_ttl_s,
-                readable=False,
-            )
+                return Claim(
+                    key=key,
+                    runner_id=str(record.fields["runner_id"]),
+                    claimed_at=float(record.fields["claimed_at"]),
+                    heartbeat_at=float(record.fields["heartbeat_at"]),
+                    lease_ttl_s=float(record.fields["lease_ttl_s"]),
+                    workers=int(record.fields.get("workers", 1)),
+                )
+            except (KeyError, TypeError, ValueError):
+                pass
+        return Claim(
+            key=key,
+            runner_id="<unreadable>",
+            claimed_at=record.mtime,
+            heartbeat_at=record.mtime,
+            lease_ttl_s=self.lease_ttl_s,
+            readable=False,
+        )

@@ -744,3 +744,140 @@ class TestGridProfileOption:
         dumps = sorted(profile_dir.glob("*.pstats"))
         assert dumps
         assert pstats.Stats(str(dumps[0])).total_calls > 0
+
+
+class TestGridBackendOption:
+    """--backend on the grid subcommands, and `grid migrate`."""
+
+    def _run_grid(self, store, *extra):
+        return run_cli(
+            "grid", "run",
+            "--store", str(store),
+            "--config", "small",
+            "--protocols", "flooding", "locaware",
+            "--scenarios", "baseline",
+            "--seeds", "1", "2",
+            "--queries", "10",
+            *extra,
+        )
+
+    AXIS = (
+        "--config", "small",
+        "--protocols", "flooding", "locaware",
+        "--scenarios", "baseline",
+        "--seeds", "1", "2",
+        "--queries", "10",
+    )
+
+    def test_sqlite_cold_then_warm_autodetected(self, tmp_path):
+        store = tmp_path / "store"
+        code, text = self._run_grid(store, "--backend", "sqlite")
+        assert code == 0
+        assert "total=4 executed=4 cached=0" in text
+        assert f"store: {store} [sqlite]" in text
+        assert (store / "store.sqlite").is_file()
+        # Rows, not files: no ??/ shard directories, only the
+        # database (plus its WAL/shm journal siblings).
+        assert all(
+            p.name.startswith("store.sqlite") for p in store.iterdir()
+        )
+        # The warm run passes no --backend: autodetection must find
+        # the SQLite store and execute nothing.
+        code, text = self._run_grid(store)
+        assert code == 0
+        assert "total=4 executed=0 cached=4" in text
+        assert f"store: {store} [sqlite]" in text
+
+    def test_status_and_watch_see_sqlite_claims(self, tmp_path):
+        from repro.results import ClaimStore, ResultStore
+
+        store_dir = tmp_path / "store"
+        self._run_grid(store_dir, "--backend", "sqlite")
+        store = ResultStore(store_dir)
+        first = next(iter(store.keys()))
+        store.delete(first)  # make one cell pending again...
+        claims = ClaimStore(
+            store_dir, runner_id="busy-runner", backend=store.backend
+        )
+        claims.try_claim(first)  # ...and hold it like a live runner
+        code, text = run_cli(
+            "grid", "status", "--store", str(store_dir), *self.AXIS
+        )
+        assert code == 0
+        assert "total=4 stored=3 claimed=1 pending=0" in text
+        assert "busy-runner" in text
+        code, text = run_cli(
+            "grid", "watch", "--store", str(store_dir), "--once", *self.AXIS
+        )
+        assert code == 0
+        assert "total=4 stored=3 claimed=1 pending=0" in text
+
+    def test_report_and_ls_read_sqlite_stores(self, tmp_path):
+        store = tmp_path / "store"
+        self._run_grid(store, "--backend", "sqlite")
+        code, text = run_cli("grid", "report", "--store", str(store))
+        assert code == 0
+        assert "4 cells" in text
+        code, text = run_cli("grid", "ls", "--store", str(store))
+        assert code == 0
+        assert "4 cells" in text
+
+    def test_migrate_round_trip_is_byte_identical(self, tmp_path):
+        from repro.results import ResultStore
+
+        src = tmp_path / "json-store"
+        self._run_grid(src)
+        code, text = run_cli(
+            "grid", "migrate", str(src), str(tmp_path / "db-store")
+        )
+        assert code == 0
+        assert "[json] -> " in text and "[sqlite]" in text
+        assert "all documents byte-identical" in text
+        code, text = run_cli(
+            "grid", "migrate", str(tmp_path / "db-store"),
+            str(tmp_path / "back"),
+        )
+        assert code == 0
+        assert "all documents byte-identical" in text
+        original, round_tripped = ResultStore(src), ResultStore(
+            tmp_path / "back"
+        )
+        assert round_tripped.backend_name == "json"
+        keys = list(original.keys())
+        assert list(round_tripped.keys()) == keys
+        for key in keys:
+            assert round_tripped.path_for(key).read_bytes() == (
+                original.path_for(key).read_bytes()
+            )
+        # And the migrated store satisfies the grid: warm run, 0 cells.
+        code, text = self._run_grid(tmp_path / "db-store")
+        assert code == 0
+        assert "total=4 executed=0 cached=4" in text
+
+    def test_migrate_empty_store_fails_cleanly(self, tmp_path):
+        code, text = run_cli(
+            "grid", "migrate", str(tmp_path / "empty"), str(tmp_path / "dst")
+        )
+        assert code == 1
+        assert "no cells stored" in text
+
+    def test_migrate_same_directory_rejected(self, tmp_path):
+        code, text = run_cli(
+            "grid", "migrate", str(tmp_path / "s"), str(tmp_path / "s")
+        )
+        assert code == 2
+        assert "must be different" in text
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["grid", "run", "--backend", "parquet"]
+            )
+
+    def test_sqlite_store_pointing_at_a_file_is_a_clean_error(self, tmp_path):
+        not_a_dir = tmp_path / "plain-file"
+        not_a_dir.write_text("occupied")
+        code, text = self._run_grid(not_a_dir, "--backend", "sqlite")
+        assert code == 2
+        assert "error:" in text
+        assert "Traceback" not in text

@@ -1,0 +1,365 @@
+"""Backend-conformance contract for the result/claim storage layer.
+
+Every test here runs twice — once against the sharded-JSON file
+backend and once against the SQLite (WAL) backend — and asserts the
+*observable* contract of :class:`ResultStore`/:class:`ClaimStore`:
+document round-trips, sidecar invisibility to ``keys()``, quarantine
+of corrupt documents, claim exclusivity, stale-lease one-thief-wins,
+and prune.  A new backend that passes this suite can be dropped
+behind the facades without touching the grid runner or the CLI.
+
+Backend-specific *mechanism* (file names, litter sweeping, torn claim
+files) stays in ``test_results_store.py`` / ``test_results_claims.py``;
+this file is deliberately mechanism-blind.
+"""
+
+import json
+
+import pytest
+
+from repro.results import (
+    ClaimStore,
+    CorruptResultError,
+    ResultStore,
+    resolve_backend,
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+BACKENDS = ["json", "sqlite"]
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture()
+def store(tmp_path, backend_name):
+    return ResultStore(tmp_path / "store", backend=backend_name)
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def _claims(store, runner_id="runner-1", ttl=60.0, clock=None):
+    """A ClaimStore sharing ``store``'s backend (the GridRunner shape)."""
+    return ClaimStore(
+        store.root,
+        runner_id=runner_id,
+        lease_ttl_s=ttl,
+        clock=clock if clock is not None else FakeClock(),
+        backend=store.backend,
+    )
+
+
+def _rival(store, runner_id="runner-2", ttl=60.0, clock=None):
+    """A ClaimStore with its *own* backend instance on the same root —
+    the shape of a second runner process sharing the store."""
+    return ClaimStore(
+        store.root,
+        runner_id=runner_id,
+        lease_ttl_s=ttl,
+        clock=clock if clock is not None else FakeClock(),
+        backend=store.backend_name,
+    )
+
+
+class TestDocuments:
+    def test_put_get_round_trip(self, store):
+        document = {"cell": {"protocol": "locaware"}, "metrics": [1, 2.5]}
+        store.put(KEY_A, document)
+        assert store.get(KEY_A) == document
+        assert store.has(KEY_A)
+        assert KEY_A in store
+        assert len(store) == 1
+
+    def test_get_missing_raises_key_error(self, store):
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+        assert not store.has(KEY_A)
+
+    def test_overwrite_replaces(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_A, {"v": 2})
+        assert store.get(KEY_A) == {"v": 2}
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(KEY_A, {"v": 1})
+        assert store.delete(KEY_A) is True
+        assert not store.has(KEY_A)
+        assert store.delete(KEY_A) is False
+
+    def test_keys_sorted_and_complete(self, store):
+        for key in (KEY_C, KEY_A, KEY_B):
+            store.put(key, {"k": key[:2]})
+        assert list(store.keys()) == [KEY_A, KEY_B, KEY_C]
+
+    def test_malformed_key_rejected(self, store):
+        for bad in ("", "short", "XY" * 32):
+            with pytest.raises(ValueError, match="malformed result-store"):
+                store.put(bad, {})
+            with pytest.raises(ValueError, match="malformed result-store"):
+                store.has(bad)
+
+    def test_non_finite_document_rejected_without_litter(self, store):
+        with pytest.raises(ValueError):
+            store.put(KEY_A, {"bad": float("nan")})
+        assert not store.has(KEY_A)
+        assert list(store.keys()) == []
+
+    def test_raw_round_trip_is_canonical_text(self, store):
+        document = {"b": 2, "a": 1}
+        store.put(KEY_A, document)
+        expected = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        assert store.get_raw(KEY_A) == expected
+
+
+class TestQuarantine:
+    def test_corrupt_document_is_quarantined_and_heals(self, store):
+        store.put_raw(KEY_A, "this is not json\n")
+        with pytest.raises(CorruptResultError) as excinfo:
+            store.get(KEY_A)
+        assert excinfo.value.key == KEY_A
+        assert excinfo.value.quarantined_to is not None
+        # The store healed itself: the cell now reads as absent and
+        # never lists, so the next run simply re-executes it.
+        assert not store.has(KEY_A)
+        assert list(store.keys()) == []
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+
+    def test_non_object_document_is_quarantined(self, store):
+        store.put_raw(KEY_A, "[1, 2, 3]\n")
+        with pytest.raises(CorruptResultError, match="expected a JSON object"):
+            store.get(KEY_A)
+        assert not store.has(KEY_A)
+
+    def test_quarantine_of_absent_key_returns_none(self, store):
+        assert store.quarantine(KEY_A) is None
+
+
+class TestSidecars:
+    def test_sidecars_invisible_to_keys(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put_sidecar(KEY_A, {"kind": "telemetry-sidecar"})
+        store.put_sidecar(KEY_B, {"kind": "telemetry-sidecar"})
+        assert list(store.keys()) == [KEY_A]
+        assert list(store.sidecar_keys()) == [KEY_A, KEY_B]
+        assert len(store) == 1
+
+    def test_sidecar_round_trip(self, store):
+        store.put_sidecar(KEY_A, {"phases_s": {"simulate": 1.25}})
+        assert store.get_sidecar(KEY_A) == {"phases_s": {"simulate": 1.25}}
+
+    def test_damaged_sidecar_reads_as_none(self, store):
+        store.put_sidecar_raw(KEY_A, "torn {")
+        assert store.get_sidecar(KEY_A) is None
+        store.put_sidecar_raw(KEY_A, "[1]")
+        assert store.get_sidecar(KEY_A) is None
+
+    def test_absent_sidecar_reads_as_none(self, store):
+        assert store.get_sidecar(KEY_A) is None
+
+
+class TestBatch:
+    def test_batched_puts_visible_during_and_after(self, store):
+        with store.batch():
+            store.put(KEY_A, {"v": 1})
+            store.put(KEY_B, {"v": 2})
+            # Read-your-writes inside the batch.
+            assert store.has(KEY_A)
+            assert store.get(KEY_A) == {"v": 1}
+            assert list(store.keys()) == [KEY_A, KEY_B]
+        assert store.get(KEY_A) == {"v": 1}
+        assert store.get(KEY_B) == {"v": 2}
+
+    def test_batch_flushes_even_when_body_raises(self, store):
+        # batch() is a durability optimisation, not a transaction:
+        # completed puts survive an exception (matching the json
+        # backend, where each put is durable the moment it returns).
+        with pytest.raises(RuntimeError, match="boom"):
+            with store.batch():
+                store.put(KEY_A, {"v": 1})
+                raise RuntimeError("boom")
+        fresh = ResultStore(store.root)  # re-open, no shared buffers
+        assert fresh.get(KEY_A) == {"v": 1}
+
+
+class TestMigration:
+    def test_cross_backend_copy_is_byte_identical(self, tmp_path, backend_name):
+        other = "sqlite" if backend_name == "json" else "json"
+        src = ResultStore(tmp_path / "src", backend=backend_name)
+        dst = ResultStore(tmp_path / "dst", backend=other)
+        for key, seed in ((KEY_A, 1), (KEY_B, 2)):
+            src.put(key, {"metrics": {"success": 0.5 + seed}, "seed": seed})
+            src.put_sidecar(key, {"completed_unix": 123.0 + seed})
+        with dst.batch():
+            for key in src.keys():
+                dst.put_raw(key, src.get_raw(key))
+                dst.put_sidecar_raw(key, src.get_sidecar_raw(key))
+        assert list(dst.keys()) == list(src.keys())
+        for key in src.keys():
+            assert dst.get_raw(key) == src.get_raw(key)
+            assert dst.get_sidecar_raw(key) == src.get_sidecar_raw(key)
+
+
+class TestAutodetect:
+    def test_auto_picks_sqlite_when_database_present(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root, backend="sqlite").put(KEY_A, {"v": 1})
+        detected = ResultStore(root)
+        assert detected.backend_name == "sqlite"
+        assert detected.get(KEY_A) == {"v": 1}
+
+    def test_auto_picks_json_for_fresh_or_file_stores(self, tmp_path):
+        assert ResultStore(tmp_path / "fresh").backend_name == "json"
+        ResultStore(tmp_path / "j", backend="json").put(KEY_A, {"v": 1})
+        assert ResultStore(tmp_path / "j").backend_name == "json"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown result-store backend"):
+            ResultStore(tmp_path / "store", backend="parquet")
+        with pytest.raises(ValueError, match="unknown result-store backend"):
+            resolve_backend(tmp_path / "store", "bson")
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, store):
+        a = _claims(store, "runner-a")
+        b = _rival(store, "runner-b")
+        assert a.try_claim(KEY_A) is True
+        assert b.try_claim(KEY_A) is False
+        assert a.try_claim(KEY_B) is True  # unrelated keys unaffected
+
+    def test_reclaiming_own_live_claim_fails(self, store):
+        a = _claims(store, "runner-a")
+        assert a.try_claim(KEY_A) is True
+        assert a.try_claim(KEY_A) is False
+
+    def test_get_reports_holder_and_workers(self, store, clock):
+        a = ClaimStore(
+            store.root,
+            runner_id="runner-a",
+            lease_ttl_s=45.0,
+            workers=3,
+            clock=clock,
+            backend=store.backend,
+        )
+        a.try_claim(KEY_A)
+        claim = _rival(store, "runner-b").get(KEY_A)
+        assert claim.runner_id == "runner-a"
+        assert claim.lease_ttl_s == 45.0
+        assert claim.workers == 3
+        assert claim.readable is True
+        assert _rival(store, "runner-b").get(KEY_B) is None
+
+    def test_heartbeat_preserves_claimed_at(self, store, clock):
+        a = _claims(store, "runner-a", clock=clock)
+        a.try_claim(KEY_A)
+        taken = a.get(KEY_A).claimed_at
+        clock.advance(10.0)
+        assert a.heartbeat(KEY_A) is True
+        claim = a.get(KEY_A)
+        assert claim.claimed_at == taken
+        assert claim.heartbeat_at == taken + 10.0
+
+    def test_heartbeat_on_foreign_or_absent_claim_fails(self, store):
+        a = _claims(store, "runner-a")
+        b = _rival(store, "runner-b")
+        assert a.heartbeat(KEY_A) is False  # never claimed
+        a.try_claim(KEY_A)
+        assert b.heartbeat(KEY_A) is False  # not the holder
+
+    def test_release_is_holder_only(self, store):
+        a = _claims(store, "runner-a")
+        b = _rival(store, "runner-b")
+        a.try_claim(KEY_A)
+        assert b.release(KEY_A) is False
+        assert a.release(KEY_A) is True
+        assert a.get(KEY_A) is None
+        assert b.try_claim(KEY_A) is True  # released cells reclaimable
+
+    def test_stale_lease_is_stolen_exactly_once(self, store, clock):
+        a = _claims(store, "runner-a", ttl=30.0, clock=clock)
+        assert a.try_claim(KEY_A) is True
+        clock.advance(31.0)  # silence > TTL: presumed dead
+        thief = _rival(store, "runner-thief", ttl=30.0, clock=clock)
+        assert thief.try_claim(KEY_A) is True
+        claim = thief.get(KEY_A)
+        assert claim.runner_id == "runner-thief"
+        # The dead runner's heartbeat must not resurrect the lease.
+        assert a.heartbeat(KEY_A) is False
+        # And a second thief arriving later loses the normal race.
+        late = _rival(store, "runner-late", ttl=30.0, clock=clock)
+        assert late.try_claim(KEY_A) is False
+
+    def test_live_lease_is_not_stolen(self, store, clock):
+        a = _claims(store, "runner-a", ttl=30.0, clock=clock)
+        a.try_claim(KEY_A)
+        clock.advance(29.0)
+        thief = _rival(store, "runner-thief", ttl=30.0, clock=clock)
+        assert thief.try_claim(KEY_A) is False
+
+    def test_staleness_uses_the_claims_own_ttl(self, store, clock):
+        # A runner with a long lease judges foreign claims by *their*
+        # recorded TTL, so differently-configured runners coexist.
+        short = _claims(store, "runner-short", ttl=10.0, clock=clock)
+        short.try_claim(KEY_A)
+        clock.advance(11.0)
+        longish = _rival(store, "runner-long", ttl=1000.0, clock=clock)
+        assert longish.try_claim(KEY_A) is True
+
+    def test_claims_listing_is_sorted(self, store):
+        a = _claims(store, "runner-a")
+        for key in (KEY_B, KEY_A, KEY_C):
+            a.try_claim(key)
+        assert [c.key for c in a.claims()] == [KEY_A, KEY_B, KEY_C]
+
+    def test_prune_drops_settled_claims_only(self, store, clock):
+        a = _claims(store, "runner-a", clock=clock)
+        a.try_claim(KEY_A)
+        a.try_claim(KEY_B)
+        store.put(KEY_A, {"v": 1})  # committed, then holder "crashed"
+        removed = a.prune(store.has)
+        assert removed == 1
+        assert a.get(KEY_A) is None
+        assert a.get(KEY_B) is not None  # unsettled claim left alone
+
+    def test_prune_on_empty_store_is_a_noop(self, store):
+        assert _claims(store).prune(store.has) == 0
+
+
+class TestGridRunnerIntegration:
+    """The claim protocol as the grid runner drives it, per backend."""
+
+    def test_commit_then_release_partitions_two_runners(self, store, clock):
+        a = _claims(store, "runner-a", clock=clock)
+        b = _rival(store, "runner-b", clock=clock)
+        grid = [KEY_A, KEY_B, KEY_C]
+        took_a = [k for k in grid if a.try_claim(k)]
+        took_b = [k for k in grid if not store.has(k) and b.try_claim(k)]
+        assert took_a == grid and took_b == []
+        with store.batch():
+            for key in took_a:
+                store.put(key, {"by": "a"})
+        for key in took_a:
+            a.release(key)
+        assert sorted(store.keys()) == grid
+        assert list(a.claims()) == []

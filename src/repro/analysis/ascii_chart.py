@@ -12,7 +12,7 @@ buckets) are skipped.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 __all__ = ["render_chart", "render_figure_chart"]
 
@@ -21,7 +21,7 @@ _GLYPHS = "*o+x#@%&"
 
 
 def render_chart(
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     width: int = 60,
     height: int = 16,
     y_label: str = "",
@@ -56,7 +56,7 @@ def render_chart(
             x = _scale(i, max(1, max_points - 1), width - 1)
             y = _scale(value - lo, hi - lo, height - 1)
             grid[height - 1 - y][x] = glyph
-    lines: List[str] = []
+    lines: list[str] = []
     if y_label:
         lines.append(y_label)
     for row_index, row in enumerate(grid):
@@ -72,7 +72,7 @@ def render_chart(
 
 def render_figure_chart(
     x_values: Sequence[int],
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     title: str,
     y_label: str,
     width: int = 60,

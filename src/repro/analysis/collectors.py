@@ -16,8 +16,8 @@ same run produces all three curves.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence
 
 from ..protocols.base import QueryOutcome
 from ..sim.metrics import BucketedSeries
@@ -37,7 +37,7 @@ class OutcomeSummary:
     mean_responses: float
 
     @classmethod
-    def empty(cls) -> "OutcomeSummary":
+    def empty(cls) -> OutcomeSummary:
         return cls(0, 0, math.nan, math.nan, math.nan, math.nan)
 
 
@@ -49,7 +49,7 @@ class MetricSeries:
     search_traffic: BucketedSeries
     success_rate: BucketedSeries
 
-    def bucket_edges(self) -> List[int]:
+    def bucket_edges(self) -> list[int]:
         """The common x-axis (#queries at each bucket's right edge)."""
         return self.search_traffic.bucket_edges()
 

@@ -16,8 +16,8 @@ by how much — absolute numbers depend on the substrate):
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
 
 from .collectors import MetricSeries, OutcomeSummary
 
@@ -58,9 +58,9 @@ def _trend(values: Sequence[float]) -> float:
 
 
 def check_paper_claims(
-    summaries: Dict[str, OutcomeSummary],
-    series: Dict[str, MetricSeries],
-) -> List[ClaimCheck]:
+    summaries: dict[str, OutcomeSummary],
+    series: dict[str, MetricSeries],
+) -> list[ClaimCheck]:
     """Check the §5.2 claims on measured results.
 
     ``summaries`` and ``series`` are keyed by protocol name
@@ -70,7 +70,7 @@ def check_paper_claims(
     missing = required - set(summaries)
     if missing:
         raise ValueError(f"missing protocols for claim checks: {sorted(missing)}")
-    checks: List[ClaimCheck] = []
+    checks: list[ClaimCheck] = []
 
     # -- Fig 2: download distance ---------------------------------------
     loc = summaries["locaware"].mean_download_distance_ms

@@ -9,8 +9,8 @@ outcome collections, used by the report generator and the examples.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 from ..protocols.base import QueryOutcome
 
@@ -54,7 +54,7 @@ class DistanceDistribution:
     mean: float
 
     @classmethod
-    def empty(cls) -> "DistanceDistribution":
+    def empty(cls) -> DistanceDistribution:
         nan = math.nan
         return cls(0, nan, nan, nan, nan, nan)
 
@@ -80,7 +80,7 @@ def distance_distribution(outcomes: Sequence[QueryOutcome]) -> DistanceDistribut
 
 def cdf_points(
     values: Sequence[float], num_points: int = 20
-) -> List[Tuple[float, float]]:
+) -> list[tuple[float, float]]:
     """``(value, fraction <= value)`` pairs for plotting a CDF.
 
     Evenly spaced in probability; empty input yields an empty list.
@@ -90,7 +90,7 @@ def cdf_points(
     ordered = sorted(values)
     if not ordered:
         return []
-    points: List[Tuple[float, float]] = []
+    points: list[tuple[float, float]] = []
     for i in range(num_points):
         q = 100.0 * i / (num_points - 1)
         points.append((percentile(ordered, q), q / 100.0))

@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Tuple
+from typing import Any, IO
 
 from ..results.keys import cell_label
 from ..sim.metrics import BucketedSeries
@@ -57,7 +57,7 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
-def _series_to_lists(series: BucketedSeries) -> Dict[str, Any]:
+def _series_to_lists(series: BucketedSeries) -> dict[str, Any]:
     return {
         "name": series.name,
         "bucket_width": series.bucket_width,
@@ -77,7 +77,7 @@ def _nan_if_none(value: Any) -> float:
     return math.nan if value is None else float(value)
 
 
-def run_to_document(run: Any) -> Dict[str, Any]:
+def run_to_document(run: Any) -> dict[str, Any]:
     """Serialise one protocol run's measurements to a JSON-able dict.
 
     Accepts any run-shaped object (``summary``, ``series``,
@@ -108,7 +108,7 @@ def run_to_document(run: Any) -> Dict[str, Any]:
     }
 
 
-def comparison_to_document(result: Any) -> Dict[str, Any]:
+def comparison_to_document(result: Any) -> dict[str, Any]:
     """Serialise a ComparisonResult-like object to a JSON-able dict.
 
     Accepts any object with ``config``, ``max_queries``,
@@ -116,7 +116,7 @@ def comparison_to_document(result: Any) -> Dict[str, Any]:
     ``series``, ``locally_satisfied``, ``sim_time_s``,
     ``events_processed``).
     """
-    runs: Dict[str, Any] = {
+    runs: dict[str, Any] = {
         name: run_to_document(run) for name, run in result.runs.items()
     }
     return {
@@ -148,21 +148,21 @@ class _LoadedSeries:
 
     name: str
     bucket_width: int
-    edges: List[int]
-    _windowed: List[float] = field(default_factory=list)
-    _cumulative: List[float] = field(default_factory=list)
+    edges: list[int]
+    _windowed: list[float] = field(default_factory=list)
+    _cumulative: list[float] = field(default_factory=list)
     sample_count: int = 0
     _overall: float = math.nan
 
-    def bucket_edges(self) -> List[int]:
+    def bucket_edges(self) -> list[int]:
         """The persisted x-axis edges."""
         return list(self.edges)
 
-    def windowed_means(self) -> List[float]:
+    def windowed_means(self) -> list[float]:
         """The persisted per-bucket means."""
         return list(self._windowed)
 
-    def cumulative_means(self) -> List[float]:
+    def cumulative_means(self) -> list[float]:
         """The persisted cumulative means."""
         return list(self._cumulative)
 
@@ -192,26 +192,26 @@ class LoadedComparison:
     ``bucket_edges()``).
     """
 
-    config: Dict[str, Any]
+    config: dict[str, Any]
     max_queries: int
     bucket_width: int
-    runs: Dict[str, _LoadedRun]
+    runs: dict[str, _LoadedRun]
     scenario_name: Any = None
     """Registered scenario the persisted runs used, if any (``None``
     for baseline documents and documents written before the field
     existed)."""
 
-    def summaries(self) -> Dict[str, OutcomeSummary]:
+    def summaries(self) -> dict[str, OutcomeSummary]:
         """Per-protocol aggregates, mirroring ComparisonResult."""
         return {name: run.summary for name, run in self.runs.items()}
 
-    def series(self) -> Dict[str, MetricSeries]:
+    def series(self) -> dict[str, MetricSeries]:
         """Per-protocol figure series, mirroring ComparisonResult."""
         return {name: run.series for name, run in self.runs.items()}
 
-    def bucket_edges(self) -> List[int]:
+    def bucket_edges(self) -> list[int]:
         """Common x-axis across the persisted protocols."""
-        edges: List[int] = []
+        edges: list[int] = []
         for run in self.runs.values():
             candidate = run.series.search_traffic.bucket_edges()
             if len(candidate) > len(edges):
@@ -219,7 +219,7 @@ class LoadedComparison:
         return edges
 
 
-def _load_series(doc: Dict[str, Any]) -> _LoadedSeries:
+def _load_series(doc: dict[str, Any]) -> _LoadedSeries:
     return _LoadedSeries(
         name=doc["name"],
         bucket_width=doc["bucket_width"],
@@ -231,7 +231,7 @@ def _load_series(doc: Dict[str, Any]) -> _LoadedSeries:
     )
 
 
-def load_run_document(protocol_name: str, run_doc: Dict[str, Any]) -> _LoadedRun:
+def load_run_document(protocol_name: str, run_doc: dict[str, Any]) -> _LoadedRun:
     """Restore one run from its :func:`run_to_document` encoding."""
     s = run_doc["summary"]
     summary = OutcomeSummary(
@@ -257,7 +257,7 @@ def load_run_document(protocol_name: str, run_doc: Dict[str, Any]) -> _LoadedRun
     )
 
 
-def _check_kind(doc: Dict[str, Any], kind: str) -> None:
+def _check_kind(doc: dict[str, Any], kind: str) -> None:
     if doc.get("kind") != kind:
         raise ValueError(f"not a {kind} document: kind={doc.get('kind')!r}")
     if doc.get("format_version") != _FORMAT_VERSION:
@@ -271,7 +271,7 @@ def load_comparison_document(source: IO[str]) -> LoadedComparison:
     """Restore a document written by :func:`save_comparison`."""
     doc = json.load(source)
     _check_kind(doc, "comparison")
-    runs: Dict[str, _LoadedRun] = {
+    runs: dict[str, _LoadedRun] = {
         name: load_run_document(name, run_doc)
         for name, run_doc in doc["runs"].items()
     }
@@ -293,7 +293,7 @@ def load_comparison_document(source: IO[str]) -> LoadedComparison:
 # experiments layer, so shape — not type — is the contract.
 
 
-def _cell_axes(cell: Any) -> Tuple[str, Dict[str, Any], Dict[str, Any]]:
+def _cell_axes(cell: Any) -> tuple[str, dict[str, Any], dict[str, Any]]:
     scenario = cell.scenario
     name = getattr(scenario, "name", scenario)
     params = dict(getattr(scenario, "params", ()))
@@ -308,7 +308,7 @@ def grid_cell_to_document(
     max_queries: int,
     bucket_width: int,
     topology_fingerprint: Any = None,
-) -> Dict[str, Any]:
+) -> dict[str, Any]:
     """Serialise one completed grid cell for the result store."""
     name, params, overrides = _cell_axes(cell)
     return {
@@ -329,13 +329,13 @@ def grid_cell_to_document(
     }
 
 
-def load_grid_cell_document(doc: Dict[str, Any]) -> _LoadedRun:
+def load_grid_cell_document(doc: dict[str, Any]) -> _LoadedRun:
     """Restore the run of a stored grid cell."""
     _check_kind(doc, "grid-cell")
     return load_run_document(doc["cell"]["protocol"], doc["run"])
 
 
-def grid_report_to_document(report: Any) -> Dict[str, Any]:
+def grid_report_to_document(report: Any) -> dict[str, Any]:
     """Serialise a sweep/grid report (axes + every cell) to a dict.
 
     Works duck-typed on :class:`~repro.experiments.sweep.SweepReport`
@@ -343,7 +343,7 @@ def grid_report_to_document(report: Any) -> Dict[str, Any]:
     sorted by (label, protocol, seed) so the document is byte-stable
     whatever completion order the worker pool produced.
     """
-    cells: List[Dict[str, Any]] = []
+    cells: list[dict[str, Any]] = []
     for cell, run in report.runs.items():
         name, params, overrides = _cell_axes(cell)
         cells.append(
@@ -402,13 +402,13 @@ class LoadedGridReport:
     ones.
     """
 
-    base_config: Dict[str, Any]
-    protocols: List[str]
-    scenarios: List[str]
-    seeds: List[int]
+    base_config: dict[str, Any]
+    protocols: list[str]
+    scenarios: list[str]
+    seeds: list[int]
     max_queries: int
     bucket_width: int
-    runs: Dict[Tuple[str, str, int], _LoadedRun]
+    runs: dict[tuple[str, str, int], _LoadedRun]
 
     @property
     def num_cells(self) -> int:
@@ -419,7 +419,7 @@ class LoadedGridReport:
         """The restored run of one cell (scenario = its row label)."""
         return self.runs[(scenario, protocol, seed)]
 
-    def seed_runs(self, protocol: str, scenario: str) -> List[_LoadedRun]:
+    def seed_runs(self, protocol: str, scenario: str) -> list[_LoadedRun]:
         """One (scenario-label, protocol) row across all seeds."""
         return [self.run_for(protocol, scenario, seed) for seed in self.seeds]
 
@@ -428,8 +428,8 @@ def load_grid_report_document(source: IO[str]) -> LoadedGridReport:
     """Restore a document written by :func:`save_grid_report`."""
     doc = json.load(source)
     _check_kind(doc, "grid-report")
-    runs: Dict[Tuple[str, str, int], _LoadedRun] = {}
-    labels: List[str] = []
+    runs: dict[tuple[str, str, int], _LoadedRun] = {}
+    labels: list[str] = []
     for cell in doc["cells"]:
         scenario = cell["scenario"]
         label = cell.get("label") or cell_label(

@@ -8,7 +8,8 @@ numbers can never drift from what the code measured.
 from __future__ import annotations
 
 import math
-from typing import Any, List, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from .comparison import check_paper_claims
 
@@ -34,13 +35,13 @@ def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str
 def _series_section(result: Any, title: str, extractor) -> str:
     edges = result.bucket_edges()
     headers = ["#queries"] + list(result.runs)
-    rows: List[List[Any]] = []
+    rows: list[list[Any]] = []
     per_protocol = {
         name: extractor(run.series).windowed_means()
         for name, run in result.runs.items()
     }
     for i, edge in enumerate(edges):
-        row: List[Any] = [edge]
+        row: list[Any] = [edge]
         for name in result.runs:
             values = per_protocol[name]
             row.append(values[i] if i < len(values) else math.nan)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from .tables import format_percent, format_table
 
@@ -49,7 +49,7 @@ class SweepRow:
     sim_time_s: float
 
 
-def _mean(values: List[float]) -> float:
+def _mean(values: list[float]) -> float:
     clean = [v for v in values if not math.isnan(v)]
     return sum(clean) / len(clean) if clean else math.nan
 
@@ -77,7 +77,7 @@ class SweepAggregator:
 
     def __init__(self) -> None:
         # (scenario, protocol) → {"seeds": n, metric: [sum, count], ...}
-        self._rows: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._rows: dict[tuple[str, str], dict[str, Any]] = {}
 
     def add(self, scenario: str, protocol: str, run: Any) -> None:
         """Fold one run into its (scenario, protocol) row."""
@@ -93,9 +93,9 @@ class SweepAggregator:
                 accumulator[0] += value
                 accumulator[1] += 1
 
-    def rows(self) -> Dict[Tuple[str, str], SweepRow]:
+    def rows(self) -> dict[tuple[str, str], SweepRow]:
         """The seed-averaged rows accumulated so far."""
-        finished: Dict[Tuple[str, str], SweepRow] = {}
+        finished: dict[tuple[str, str], SweepRow] = {}
         for (scenario, protocol), row in self._rows.items():
             means = {
                 name: (row[name][0] / row[name][1] if row[name][1] else math.nan)
@@ -110,7 +110,7 @@ class SweepAggregator:
         return len(self._rows)
 
 
-def aggregate_sweep(report: Any) -> Dict[Tuple[str, str], SweepRow]:
+def aggregate_sweep(report: Any) -> dict[tuple[str, str], SweepRow]:
     """Reduce a sweep grid to seed-averaged rows, keyed (scenario, protocol)."""
     aggregator = SweepAggregator()
     for scenario in report.scenarios:
@@ -121,9 +121,9 @@ def aggregate_sweep(report: Any) -> Dict[Tuple[str, str], SweepRow]:
 
 
 def _scenario_table(
-    rows: Dict[Tuple[str, str], SweepRow],
+    rows: dict[tuple[str, str], SweepRow],
     scenario: str,
-    protocols: List[str],
+    protocols: list[str],
     title: str,
 ) -> str:
     table_rows = []
@@ -146,7 +146,7 @@ def _scenario_table(
 
 
 def render_sweep_rows(
-    rows: Dict[Tuple[str, str], SweepRow], heading: Optional[str] = None
+    rows: dict[tuple[str, str], SweepRow], heading: str | None = None
 ) -> str:
     """Render aggregated rows alone — no report object required.
 
@@ -156,7 +156,7 @@ def render_sweep_rows(
     scenario label, each row annotated with its seed count.
     """
     scenarios = sorted({scenario for scenario, _ in rows})
-    blocks: List[str] = [] if heading is None else [heading]
+    blocks: list[str] = [] if heading is None else [heading]
     for scenario in scenarios:
         protocols = sorted(
             protocol for (s, protocol) in rows if s == scenario
@@ -178,7 +178,7 @@ def render_sweep_rows(
 def render_sweep_report(report: Any) -> str:
     """Human-readable sweep report: one table per scenario."""
     rows = aggregate_sweep(report)
-    blocks: List[str] = [
+    blocks: list[str] = [
         f"Sweep grid: {len(report.protocols)} protocols × "
         f"{len(report.scenarios)} scenarios × {len(report.seeds)} seeds "
         f"({report.max_queries} queries per cell)"

@@ -7,7 +7,7 @@ plot; these helpers keep that output consistent and readable.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 __all__ = ["format_table", "format_series_table", "format_percent"]
 
@@ -30,7 +30,7 @@ def _format_cell(value: object, width: int) -> str:
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render a fixed-width table with a separator under the header."""
     columns = len(headers)
@@ -40,9 +40,9 @@ def format_table(
                 f"row {row!r} has {len(row)} cells, expected {columns}"
             )
     widths = [len(str(h)) for h in headers]
-    rendered_rows: List[List[str]] = []
+    rendered_rows: list[list[str]] = []
     for row in rows:
-        rendered: List[str] = []
+        rendered: list[str] = []
         for i, cell in enumerate(row):
             if isinstance(cell, float):
                 text = "n/a" if math.isnan(cell) else f"{cell:.2f}"
@@ -51,7 +51,7 @@ def format_table(
             widths[i] = max(widths[i], len(text))
             rendered.append(text)
         rendered_rows.append(rendered)
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header_line = "  ".join(str(h).rjust(widths[i]) for i, h in enumerate(headers))
@@ -65,17 +65,17 @@ def format_table(
 def format_series_table(
     x_label: str,
     x_values: Sequence[int],
-    series: Dict[str, Sequence[float]],
-    title: Optional[str] = None,
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
 ) -> str:
     """Render one paper figure: x-axis column + one column per protocol.
 
     ``series`` maps protocol name → y-values aligned with ``x_values``.
     """
     headers = [x_label] + list(series)
-    rows: List[List[object]] = []
+    rows: list[list[object]] = []
     for i, x in enumerate(x_values):
-        row: List[object] = [x]
+        row: list[object] = [x]
         for name in series:
             values = series[name]
             row.append(values[i] if i < len(values) else math.nan)

@@ -13,7 +13,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any
 
 from .tables import format_table
 
@@ -31,15 +31,15 @@ class TraceParseError(ValueError):
     """A trace file line failed to parse, with the line number named."""
 
 
-def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
     """Load every event of a JSONL trace file, in file order.
 
     Blank lines are tolerated (a truncated final line is not: tracing
     writes whole lines, so a partial one means real damage and raises
     :class:`TraceParseError` naming the line).
     """
-    events: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -64,9 +64,9 @@ class TraceSummary:
     """Aggregates of one trace: per-kind counts plus per-query events."""
 
     total_events: int = 0
-    kind_counts: Dict[str, int] = field(default_factory=dict)
+    kind_counts: dict[str, int] = field(default_factory=dict)
     #: qid → that query's events, in trace order.
-    queries: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+    queries: dict[int, list[dict[str, Any]]] = field(default_factory=dict)
     first_t: float = 0.0
     last_t: float = 0.0
 
@@ -76,11 +76,11 @@ class TraceSummary:
         return self.last_t - self.first_t
 
 
-def summarize_trace(events: List[Dict[str, Any]]) -> TraceSummary:
+def summarize_trace(events: list[dict[str, Any]]) -> TraceSummary:
     """Fold a list of trace events into a :class:`TraceSummary`."""
     summary = TraceSummary()
-    counts: "Counter[str]" = Counter()
-    times: List[float] = []
+    counts: Counter[str] = Counter()
+    times: list[float] = []
     for event in events:
         counts[event.get("kind", "?")] += 1
         t = event.get("t")
@@ -116,7 +116,7 @@ def render_trace_summary(summary: TraceSummary) -> str:
     return "\n".join(lines)
 
 
-def _event_detail(event: Dict[str, Any]) -> str:
+def _event_detail(event: dict[str, Any]) -> str:
     """Everything but t/kind/qid, rendered compactly."""
     parts = [
         f"{key}={value!r}"
@@ -127,7 +127,7 @@ def _event_detail(event: Dict[str, Any]) -> str:
 
 
 def render_query_timeline(
-    summary: TraceSummary, qid: Optional[int] = None
+    summary: TraceSummary, qid: int | None = None
 ) -> str:
     """One query's hop timeline (default: the first traced query)."""
     if not summary.queries:

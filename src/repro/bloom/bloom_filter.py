@@ -25,21 +25,21 @@ the substrate-equivalence suite.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable
 from functools import lru_cache
-from typing import Iterable, List, Tuple
 
 __all__ = ["element_positions", "element_mask", "BloomFilter", "ByteBloomFilter"]
 
 
 @lru_cache(maxsize=None)
-def _positions_cached(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
+def _positions_cached(element: str, bits: int, hashes: int) -> tuple[int, ...]:
     digest = hashlib.blake2b(element.encode("utf-8"), digest_size=16).digest()
     h1 = int.from_bytes(digest[:8], "big")
     h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full-period stride
     return tuple((h1 + i * h2) % bits for i in range(hashes))
 
 
-def element_positions(element: str, bits: int, hashes: int) -> Tuple[int, ...]:
+def element_positions(element: str, bits: int, hashes: int) -> tuple[int, ...]:
     """The probe positions of ``element`` in an ``(m=bits, k=hashes)`` filter.
 
     Exposed at module level because the plain and counting filters must
@@ -130,13 +130,13 @@ class BloomFilter:
 
     # -- combination -----------------------------------------------------
 
-    def union_with(self, other: "BloomFilter") -> None:
+    def union_with(self, other: BloomFilter) -> None:
         """In-place union; both filters must share (bits, hashes)."""
         self._check_compatible(other)
         self._value |= other.bit_int()
         self._inserted += other._inserted
 
-    def _check_compatible(self, other: "BloomFilter") -> None:
+    def _check_compatible(self, other: BloomFilter) -> None:
         if self._bits != other._bits or self._hashes != other._hashes:
             raise ValueError(
                 f"incompatible filters: ({self._bits}, {self._hashes}) vs "
@@ -168,9 +168,9 @@ class BloomFilter:
         """Fraction of bits set."""
         return self.set_bit_count() / self._bits
 
-    def set_positions(self) -> List[int]:
+    def set_positions(self) -> list[int]:
         """Sorted positions of every set bit."""
-        out: List[int] = []
+        out: list[int] = []
         v = self._value
         while v:
             low = v & -v
@@ -202,7 +202,7 @@ class BloomFilter:
         return self._value.to_bytes((self._bits + 7) // 8, "little")
 
     @classmethod
-    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> "BloomFilter":
+    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> BloomFilter:
         """Rebuild a filter from :meth:`to_bytes` output."""
         bf = cls(bits, hashes)
         if len(data) != (bits + 7) // 8:
@@ -214,7 +214,7 @@ class BloomFilter:
         return bf
 
     @classmethod
-    def from_bit_int(cls, value: int, bits: int, hashes: int) -> "BloomFilter":
+    def from_bit_int(cls, value: int, bits: int, hashes: int) -> BloomFilter:
         """Build a filter whose vector is ``value`` (one int, bit p = pos p).
 
         The O(words) export path used by the counting filter; also
@@ -225,7 +225,7 @@ class BloomFilter:
         bf._value = value
         return bf
 
-    def copy(self) -> "BloomFilter":
+    def copy(self) -> BloomFilter:
         """An independent copy of this filter."""
         clone = BloomFilter(self._bits, self._hashes)
         clone._value = self._value
@@ -291,7 +291,7 @@ class ByteBloomFilter:
             self._vector[i] = 0
         self._inserted = 0
 
-    def union_with(self, other: "ByteBloomFilter") -> None:
+    def union_with(self, other: ByteBloomFilter) -> None:
         if self._bits != other._bits or self._hashes != other._hashes:
             raise ValueError(
                 f"incompatible filters: ({self._bits}, {self._hashes}) vs "
@@ -319,8 +319,8 @@ class ByteBloomFilter:
     def fill_fraction(self) -> float:
         return self.set_bit_count() / self._bits
 
-    def set_positions(self) -> List[int]:
-        out: List[int] = []
+    def set_positions(self) -> list[int]:
+        out: list[int] = []
         for pos in range(self._bits):
             if self._vector[pos >> 3] & (1 << (pos & 7)):
                 out.append(pos)
@@ -346,7 +346,7 @@ class ByteBloomFilter:
         return bytes(self._vector)
 
     @classmethod
-    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> "ByteBloomFilter":
+    def from_bytes(cls, data: bytes, bits: int, hashes: int) -> ByteBloomFilter:
         bf = cls(bits, hashes)
         if len(data) != len(bf._vector):
             raise ValueError(
@@ -357,12 +357,12 @@ class ByteBloomFilter:
         return bf
 
     @classmethod
-    def from_bit_int(cls, value: int, bits: int, hashes: int) -> "ByteBloomFilter":
+    def from_bit_int(cls, value: int, bits: int, hashes: int) -> ByteBloomFilter:
         bf = cls(bits, hashes)
         bf._vector = bytearray(value.to_bytes((bits + 7) // 8, "little"))
         return bf
 
-    def copy(self) -> "ByteBloomFilter":
+    def copy(self) -> ByteBloomFilter:
         clone = ByteBloomFilter(self._bits, self._hashes)
         clone._vector = bytearray(self._vector)
         clone._inserted = self._inserted

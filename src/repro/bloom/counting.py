@@ -16,7 +16,7 @@ its counter is non-zero — which is what travels to neighbors.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 from .bloom_filter import BloomFilter, element_positions
 
@@ -47,7 +47,7 @@ class CountingBloomFilter:
         # Multiset of inserted elements: removal of a never-inserted (or
         # already fully removed) element must be rejected, otherwise the
         # counters would underflow and membership would break.
-        self._elements: Dict[str, int] = {}
+        self._elements: dict[str, int] = {}
 
     @property
     def bits(self) -> int:
@@ -140,9 +140,9 @@ class CountingBloomFilter:
         """
         return BloomFilter.from_bit_int(self._bitvec, self._bits, self._hashes)
 
-    def set_positions(self) -> List[int]:
+    def set_positions(self) -> list[int]:
         """Sorted positions with non-zero counters."""
-        out: List[int] = []
+        out: list[int] = []
         v = self._bitvec
         while v:
             low = v & -v

@@ -19,22 +19,22 @@ implementation would do.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
 
 from .bloom_filter import BloomFilter
 
 __all__ = ["diff", "apply_delta", "BloomDelta", "DeltaCodec"]
 
 
-def diff(old: BloomFilter, new: BloomFilter) -> List[int]:
+def diff(old: BloomFilter, new: BloomFilter) -> list[int]:
     """Positions whose bit value differs between ``old`` and ``new``."""
     if old.bits != new.bits or old.hashes != new.hashes:
         raise ValueError("cannot diff filters with different parameters")
     # One big-int XOR instead of a per-byte loop; position order stays
     # ascending, matching the old byte-wise/low-bit-first extraction.
     x = old.bit_int() ^ new.bit_int()
-    changed: List[int] = []
+    changed: list[int] = []
     while x:
         low = x & -x
         changed.append(low.bit_length() - 1)
@@ -61,8 +61,8 @@ class BloomDelta:
     (fallback mode) is set, never both.
     """
 
-    changed_positions: Optional[Tuple[int, ...]]
-    full_vector: Optional[bytes]
+    changed_positions: tuple[int, ...] | None
+    full_vector: bytes | None
     encoded_bits: int
 
     @property

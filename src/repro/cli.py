@@ -39,6 +39,15 @@ Subcommands:
   phases, events/sec, per-kind event counts); ``trace summarize``
   reports event counts by kind and a per-query hop timeline for any
   trace file;
+- ``lint``     — project-aware static analysis: AST rules enforcing
+  the determinism, layering, and tracing invariants (``RPR001`` no
+  wall clocks in deterministic layers, ``RPR002`` no module-level
+  ``random.*``, ``RPR003`` guarded ``tracer.emit``, ``RPR004``
+  import-layering DAG, ``RPR005`` no bare set iteration, ``RPR006``
+  strict JSON in results/analysis); ``--format text|json``,
+  ``--select``/``--ignore`` to narrow the rule set, and
+  ``--explain RPRxxx`` for each rule's rationale with an
+  offending/fixed example; exits nonzero on findings;
 - ``seed-sweep`` — claim robustness across several seeds;
 - ``info``     — show the §5.1 configuration and the system inventory.
 
@@ -64,6 +73,9 @@ Examples::
     repro-locaware grid migrate results results-sqlite
     repro-locaware trace run --protocol locaware --config small --out t.jsonl
     repro-locaware trace summarize t.jsonl --query 3
+    repro-locaware lint src tests benchmarks
+    repro-locaware lint --format json --select RPR003 RPR004
+    repro-locaware lint --explain RPR003
     repro-locaware seed-sweep --seeds 1 2 3 --queries 1000
 """
 
@@ -72,7 +84,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from .analysis import (
     check_paper_claims,
@@ -108,7 +120,7 @@ from .experiments.ablations import (
 
 __all__ = ["main", "build_parser"]
 
-_ABLATIONS: Dict[str, Callable] = {
+_ABLATIONS: dict[str, Callable] = {
     "a1": ablate_landmarks,
     "a2": ablate_bloom_size,
     "a3": ablate_cache_capacity,
@@ -393,6 +405,53 @@ def build_parser() -> argparse.ArgumentParser:
         "traced query)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis: determinism, layering, "
+        "and tracing invariants (exits nonzero on findings)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        default=None,
+        help="files or directories to lint "
+        "(default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings as human-readable text (default) or one JSON "
+        "document (for CI artifacts)",
+    )
+    lint.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="only run these rule codes (e.g. RPR003 RPR004)",
+    )
+    lint.add_argument(
+        "--ignore",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="skip these rule codes",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print one rule's rationale and a minimal offending/fixed "
+        "example, then exit (no linting)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
     seed_sweep = sub.add_parser(
         "seed-sweep", help="claim robustness across seeds"
     )
@@ -485,7 +544,7 @@ def _fresh_comparison(args: argparse.Namespace, out) -> object:
 
 def _load_or_run(args: argparse.Namespace, out) -> object:
     if getattr(args, "load", None):
-        with open(args.load, "r", encoding="utf-8") as handle:
+        with open(args.load, encoding="utf-8") as handle:
             return load_comparison_document(handle)
     return _fresh_comparison(args, out)
 
@@ -643,7 +702,7 @@ def _grid_spec_from_args(args: argparse.Namespace):
     if args.spec:
         import json
 
-        with open(args.spec, "r", encoding="utf-8") as handle:
+        with open(args.spec, encoding="utf-8") as handle:
             return GridSpec.from_dict(json.load(handle))
     base = small_config() if args.config == "small" else paper_config()
     return GridSpec(
@@ -1178,6 +1237,43 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     }[args.trace_command](args, out)
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    """Run the project lint pass (or --explain / --rules)."""
+    from .lint import (
+        LintConfig,
+        explain_rule,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
+
+    if args.rules:
+        print(rule_catalog(), file=out)
+        return 0
+    if args.explain is not None:
+        try:
+            print(explain_rule(args.explain), file=out)
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
+        return 0
+    config = LintConfig.load()
+    paths = args.paths or ["src", "tests", "benchmarks"]
+    try:
+        findings, checked = lint_paths(
+            paths, config, select=args.select, ignore=args.ignore
+        )
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, checked), file=out)
+    else:
+        print(render_text(findings, checked), file=out)
+    return 1 if findings else 0
+
+
 def _cmd_seed_sweep(args: argparse.Namespace, out) -> int:
     from .experiments.robustness import run_seed_sweep
 
@@ -1216,12 +1312,13 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "grid": _cmd_grid,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
     "seed-sweep": _cmd_seed_sweep,
     "info": _cmd_info,
 }
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)

@@ -16,7 +16,7 @@ the protocol and therefore part of the simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Iterable
 
 from ..bloom.bloom_filter import BloomFilter
 from ..bloom.counting import CountingBloomFilter
@@ -41,7 +41,7 @@ class PeerBloomState:
         #: The snapshot last pushed to neighbors (delta base).
         self.exported = BloomFilter(bits, hashes)
         #: neighbor id → our copy of their exported filter.
-        self.neighbor_filters: Dict[int, BloomFilter] = {}
+        self.neighbor_filters: dict[int, BloomFilter] = {}
 
 
 class BloomRouter:
@@ -54,7 +54,7 @@ class BloomRouter:
         self._codec = DeltaCodec(self._bits, self._hashes)
         self._period = network.config.bloom_update_period_s
         self._rng = network.streams.stream("bloom-router")
-        self._processes: Dict[int, PeriodicProcess] = {}
+        self._processes: dict[int, PeriodicProcess] = {}
         self._membership_tests = network.metrics.counter("bloom.membership_tests")
 
     # -- state ------------------------------------------------------------
@@ -148,12 +148,12 @@ class BloomRouter:
     # -- routing queries ---------------------------------------------------------
 
     def neighbors_matching(
-        self, peer: Peer, keywords: Iterable[str], exclude: Optional[int] = None
-    ) -> List[int]:
+        self, peer: Peer, keywords: Iterable[str], exclude: int | None = None
+    ) -> list[int]:
         """Neighbors whose stored filter contains every keyword (§4.2)."""
         keyword_list = list(keywords)
         state = self.state_of(peer)
-        matches: List[int] = []
+        matches: list[int] = []
         tested = 0
         for neighbor in self._network.graph.neighbors_view(peer.peer_id):
             if neighbor == exclude:

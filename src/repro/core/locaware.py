@@ -24,7 +24,6 @@ prefer neighbors physically closer to the requestor.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from ..overlay.messages import ProviderEntry, Query, QueryResponse
 from ..overlay.network import P2PNetwork
@@ -87,7 +86,7 @@ class LocawareProtocol(SearchProtocol):
         return peer.gid == file_group(filename, self.config.group_count)
 
     def _cache_entries(
-        self, peer: Peer, filename: str, providers: Tuple[ProviderEntry, ...]
+        self, peer: Peer, filename: str, providers: tuple[ProviderEntry, ...]
     ) -> None:
         """Admit providers into the peer's index, syncing the Bloom filter."""
         index = self.index_of(peer)
@@ -127,10 +126,10 @@ class LocawareProtocol(SearchProtocol):
 
     def _ordered_providers(
         self,
-        providers: List[ProviderEntry],
+        providers: list[ProviderEntry],
         origin: int,
         origin_locid: int,
-    ) -> Tuple[ProviderEntry, ...]:
+    ) -> tuple[ProviderEntry, ...]:
         """LocId-matching entries first, then the rest (newest first),
         excluding the requestor itself, capped at the per-file bound."""
         matching = [
@@ -142,7 +141,7 @@ class LocawareProtocol(SearchProtocol):
         combined = matching + others
         return tuple(combined[: self.config.max_providers_per_file])
 
-    def check_index(self, peer: Peer, query: Query) -> Optional[QueryResponse]:
+    def check_index(self, peer: Peer, query: Query) -> QueryResponse | None:
         index = self.index_of(peer)
         hit = index.lookup(query.keywords)
         if hit is None:
@@ -204,7 +203,7 @@ class LocawareProtocol(SearchProtocol):
 
     # -- routing (§4.2) -------------------------------------------------------
 
-    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:
+    def select_forward_targets(self, peer: Peer, query: Query) -> list[int]:
         """BF-matching neighbors; else Gid guess; else best-connected."""
         last_hop = query.last_hop
         matches = self.bloom_router.neighbors_matching(
@@ -229,8 +228,8 @@ class LocawareProtocol(SearchProtocol):
         return fallback
 
     def _fallback_neighbors(
-        self, peer: Peer, last_hop: int, query: Optional[Query] = None
-    ) -> List[int]:
+        self, peer: Peer, last_hop: int, query: Query | None = None
+    ) -> list[int]:
         """The last-resort targets, up to ``config.fallback_fanout``.
 
         Stock Locaware follows §4.2: best-connected neighbors.  With the
@@ -263,8 +262,8 @@ class LocawareProtocol(SearchProtocol):
 
     def select_provider(
         self, context: QueryContext
-    ) -> Optional[Tuple[QueryResponse, ProviderEntry]]:
-        candidates: List[Tuple[QueryResponse, ProviderEntry]] = []
+    ) -> tuple[QueryResponse, ProviderEntry] | None:
+        candidates: list[tuple[QueryResponse, ProviderEntry]] = []
         for response in context.responses:
             for provider in response.providers:
                 if self.provider_is_valid(context, response.file_id, provider):

@@ -15,14 +15,13 @@ requestor prefers a provider inside its own locality:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 from ..overlay.messages import ProviderEntry, QueryResponse
 from ..overlay.network import P2PNetwork
 
 __all__ = ["LocationAwareSelector"]
 
-Candidate = Tuple[QueryResponse, ProviderEntry]
+Candidate = tuple[QueryResponse, ProviderEntry]
 
 
 class LocationAwareSelector:
@@ -35,9 +34,9 @@ class LocationAwareSelector:
         self,
         origin: int,
         origin_locid: int,
-        candidates: List[Candidate],
-        query_id: Optional[int] = None,
-    ) -> Optional[Candidate]:
+        candidates: list[Candidate],
+        query_id: int | None = None,
+    ) -> Candidate | None:
         """Pick the download source among valid ``candidates``.
 
         ``candidates`` must already be validity-filtered (alive peers
@@ -50,7 +49,7 @@ class LocationAwareSelector:
                 self._network.metrics.counter("selection.locid_match").increment()
                 return candidate
         # Fallback: probe each distinct provider once, pick minimum RTT.
-        distinct: List[Candidate] = []
+        distinct: list[Candidate] = []
         seen_ids = set()
         for candidate in candidates:
             peer_id = candidate[1].peer_id

@@ -20,8 +20,8 @@ be kept in sync (§4.2: "existing ones discarded").
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..files.keywords import tokenize_filename
 from ..overlay.messages import ProviderEntry
@@ -34,7 +34,7 @@ class IndexUpdate:
     """What changed during a :meth:`LocationAwareIndex.put` call."""
 
     inserted_filename: bool
-    evicted_filenames: Tuple[str, ...]
+    evicted_filenames: tuple[str, ...]
 
 
 class LocationAwareIndex:
@@ -51,8 +51,8 @@ class LocationAwareIndex:
         self._max_providers = max_providers_per_file
         # filename -> (peer_id -> locid); both OrderedDicts use
         # insertion order as recency, oldest first.
-        self._files: "OrderedDict[str, OrderedDict[int, Optional[int]]]" = OrderedDict()
-        self._keywords: Dict[str, frozenset] = {}
+        self._files: OrderedDict[str, OrderedDict[int, int | None]] = OrderedDict()
+        self._keywords: dict[str, frozenset] = {}
 
     # -- capacity ---------------------------------------------------------
 
@@ -71,7 +71,7 @@ class LocationAwareIndex:
         """Number of cached filenames."""
         return len(self._files)
 
-    def filenames(self) -> List[str]:
+    def filenames(self) -> list[str]:
         """Cached filenames, least recently refreshed first."""
         return list(self._files)
 
@@ -98,7 +98,7 @@ class LocationAwareIndex:
             entry[provider.peer_id] = provider.locid
         while len(entry) > self._max_providers:
             entry.popitem(last=False)
-        evicted: List[str] = []
+        evicted: list[str] = []
         while len(self._files) > self._capacity:
             victim, _ = self._files.popitem(last=False)
             del self._keywords[victim]
@@ -130,7 +130,7 @@ class LocationAwareIndex:
 
     # -- lookups -----------------------------------------------------------
 
-    def providers_of(self, filename: str) -> List[ProviderEntry]:
+    def providers_of(self, filename: str) -> list[ProviderEntry]:
         """Provider entries for ``filename``, most recent first."""
         entry = self._files.get(filename)
         if entry is None:
@@ -142,7 +142,7 @@ class LocationAwareIndex:
 
     def lookup(
         self, query_keywords: Iterable[str]
-    ) -> Optional[Tuple[str, List[ProviderEntry]]]:
+    ) -> tuple[str, list[ProviderEntry]] | None:
         """Most recently refreshed cached filename matching all keywords,
         with its providers (most recent first)."""
         wanted = set(query_keywords)

@@ -26,8 +26,9 @@ runner as the figures, so results are directly comparable.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any
 
 from ..analysis.tables import format_table
 from ..sim.config import SimulationConfig
@@ -55,14 +56,14 @@ class AblationResult:
 
     experiment_id: str
     title: str
-    headers: List[str]
-    rows: List[List[Any]] = field(default_factory=list)
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
 
     def render(self) -> str:
         """The ablation as an ASCII table."""
         return format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
 
-    def column(self, header: str) -> List[Any]:
+    def column(self, header: str) -> list[Any]:
         """All values of one column (for assertions in benches/tests)."""
         index = self.headers.index(header)
         return [row[index] for row in self.rows]
@@ -84,7 +85,7 @@ def _run(
 
 
 def ablate_landmarks(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
     counts: Sequence[int] = (2, 3, 4, 5),
 ) -> AblationResult:
@@ -121,7 +122,7 @@ def ablate_landmarks(
 
 
 def ablate_bloom_size(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
     sizes: Sequence[int] = (150, 300, 600, 1200, 2400),
 ) -> AblationResult:
@@ -153,7 +154,7 @@ def ablate_bloom_size(
 
 
 def ablate_cache_capacity(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
     capacities: Sequence[int] = (2, 5, 10, 25, 50),
     protocols: Sequence[str] = ("dicas", "dicas-keys", "locaware"),
@@ -167,7 +168,7 @@ def ablate_cache_capacity(
     )
     for capacity in capacities:
         config = base.replace(index_capacity=capacity)
-        row: List[Any] = [capacity]
+        row: list[Any] = [capacity]
         for protocol in protocols:
             run = _run(config, protocol, max_queries)
             row.append(run.summary.success_rate)
@@ -176,7 +177,7 @@ def ablate_cache_capacity(
 
 
 def ablate_ttl(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 300,
     ttls: Sequence[int] = (3, 5, 7, 9),
     protocols: Sequence[str] = ("flooding", "locaware"),
@@ -189,7 +190,7 @@ def ablate_ttl(
     result = AblationResult("A4", "TTL bound (scope vs traffic)", headers)
     for ttl in ttls:
         config = base.replace(ttl=ttl)
-        row: List[Any] = [ttl]
+        row: list[Any] = [ttl]
         for protocol in protocols:
             run = _run(config, protocol, max_queries)
             row += [run.summary.success_rate, run.summary.mean_messages]
@@ -198,9 +199,9 @@ def ablate_ttl(
 
 
 def ablate_churn(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
-    mean_sessions: Sequence[Optional[float]] = (None, 3600.0, 1200.0, 600.0),
+    mean_sessions: Sequence[float | None] = (None, 3600.0, 1200.0, 600.0),
     protocols: Sequence[str] = ("dicas", "locaware"),
 ) -> AblationResult:
     """A5 — churn: stale single-provider pointers vs multi-provider entries.
@@ -223,7 +224,7 @@ def ablate_churn(
                 mean_downtime_s=session / 4.0,
             )
             label = session
-        row: List[Any] = [label]
+        row: list[Any] = [label]
         for protocol in protocols:
             run = _run(config, protocol, max_queries)
             row.append(run.summary.success_rate)
@@ -232,7 +233,7 @@ def ablate_churn(
 
 
 def measure_bloom_overhead(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
 ) -> AblationResult:
     """A6 — §4.2 footnote: a BF update is at most 12 × 11 = 132 bits."""
@@ -262,7 +263,7 @@ def measure_bloom_overhead(
 
 
 def ablate_group_count(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
     group_counts: Sequence[int] = (2, 4, 8, 16),
     protocols: Sequence[str] = ("dicas", "locaware"),
@@ -275,7 +276,7 @@ def ablate_group_count(
     result = AblationResult("A7", "group count M (Dicas parameter)", headers)
     for m in group_counts:
         config = base.replace(group_count=m)
-        row: List[Any] = [m]
+        row: list[Any] = [m]
         for protocol in protocols:
             run = _run(config, protocol, max_queries)
             row += [run.summary.success_rate, run.summary.mean_messages]
@@ -284,7 +285,7 @@ def ablate_group_count(
 
 
 def ablate_substrate(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
     protocols: Sequence[str] = ("flooding", "locaware"),
 ) -> AblationResult:
@@ -312,7 +313,7 @@ def ablate_substrate(
     ]
     for label, model, placement in combos:
         config = base.replace(latency_model=model, peer_placement=placement)
-        row: List[Any] = [label]
+        row: list[Any] = [label]
         for protocol in protocols:
             run = _run(config, protocol, max_queries)
             row += [
@@ -325,9 +326,9 @@ def ablate_substrate(
 
 
 def ablate_popularity_shift(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
-    shift_intervals: Sequence[Optional[float]] = (None, 1200.0, 300.0),
+    shift_intervals: Sequence[float | None] = (None, 1200.0, 300.0),
     protocols: Sequence[str] = ("dicas", "locaware"),
 ) -> AblationResult:
     """EXT2 — popularity drift (temporal-locality stress).
@@ -343,7 +344,7 @@ def ablate_popularity_shift(
         "EXT2", "popularity drift (shifting Zipf workload)", headers
     )
     for interval in shift_intervals:
-        row: List[Any] = ["stationary" if interval is None else interval]
+        row: list[Any] = ["stationary" if interval is None else interval]
         for protocol in protocols:
             run = run_protocol(
                 base,
@@ -358,7 +359,7 @@ def ablate_popularity_shift(
 
 
 def ablate_locaware_routing(
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 400,
 ) -> AblationResult:
     """EXT — §6 future work: location-aware query routing.

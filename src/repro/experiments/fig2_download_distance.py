@@ -13,7 +13,6 @@ prints; :func:`render` formats it.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..analysis.collectors import MetricSeries
 from ..analysis.tables import format_series_table
@@ -32,7 +31,7 @@ def extract(series: MetricSeries) -> BucketedSeries:
     return series.download_distance
 
 
-def figure_series(result: ComparisonResult) -> Dict[str, List[float]]:
+def figure_series(result: ComparisonResult) -> dict[str, list[float]]:
     """Windowed per-bucket means for every protocol (the plotted lines).
 
     Windowed (not cumulative) means expose the *trend*: Locaware's

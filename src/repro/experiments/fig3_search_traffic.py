@@ -8,7 +8,6 @@ whole point is to answer queries without blind propagation.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..analysis.collectors import MetricSeries
 from ..analysis.tables import format_series_table
@@ -27,7 +26,7 @@ def extract(series: MetricSeries) -> BucketedSeries:
     return series.search_traffic
 
 
-def figure_series(result: ComparisonResult) -> Dict[str, List[float]]:
+def figure_series(result: ComparisonResult) -> dict[str, list[float]]:
     """Windowed per-bucket means for every protocol (the plotted lines)."""
     return {
         name: extract(run.series).windowed_means()

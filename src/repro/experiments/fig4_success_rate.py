@@ -9,7 +9,6 @@ thanks to multi-provider indexes and real keyword support.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..analysis.collectors import MetricSeries
 from ..analysis.tables import format_series_table
@@ -28,7 +27,7 @@ def extract(series: MetricSeries) -> BucketedSeries:
     return series.success_rate
 
 
-def figure_series(result: ComparisonResult) -> Dict[str, List[float]]:
+def figure_series(result: ComparisonResult) -> dict[str, list[float]]:
     """Windowed per-bucket success rates for every protocol."""
     return {
         name: extract(run.series).windowed_means()

@@ -44,23 +44,12 @@ import os
 import threading
 import time
 from collections import OrderedDict
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-    Union,
-)
+from typing import Any
 
 from ..analysis.persistence import grid_cell_to_document, load_grid_cell_document
 from ..overlay.blueprint import BlueprintCache, NetworkBlueprint
@@ -146,7 +135,7 @@ def parse_scalar(text: str) -> Any:
     return value
 
 
-def _first_non_finite(value: Any) -> Optional[float]:
+def _first_non_finite(value: Any) -> float | None:
     """The first non-finite float anywhere inside ``value``, else None.
 
     Axis values can be JSON composites, so the check must recurse — a
@@ -180,7 +169,7 @@ def _check_finite(axis: str, name: str, value: Any) -> None:
         )
 
 
-Items = Tuple[Tuple[str, Any], ...]
+Items = tuple[tuple[str, Any], ...]
 
 
 def _as_items(mapping: Mapping[str, Any]) -> Items:
@@ -196,7 +185,7 @@ class ScenarioSpec:
     params: Items = ()
 
     @classmethod
-    def coerce(cls, value: Any) -> "ScenarioSpec":
+    def coerce(cls, value: Any) -> ScenarioSpec:
         """Normalise an axis entry to a ScenarioSpec.
 
         Accepts a ScenarioSpec, a string (``"name"`` or
@@ -217,12 +206,12 @@ class ScenarioSpec:
         raise ValueError(f"cannot interpret scenario axis entry {value!r}")
 
     @classmethod
-    def parse(cls, text: str) -> "ScenarioSpec":
+    def parse(cls, text: str) -> ScenarioSpec:
         """Parse the CLI form ``name`` or ``name:key=value,key=value``."""
         name, _, raw = text.partition(":")
         if not raw:
             return cls(name=name)
-        params: Dict[str, Any] = {}
+        params: dict[str, Any] = {}
         for pair in raw.split(","):
             key, separator, value = pair.partition("=")
             if not separator or not key:
@@ -238,7 +227,7 @@ class ScenarioSpec:
                 ) from None
         return cls(name=name, params=_as_items(params))
 
-    def params_dict(self) -> Dict[str, Any]:
+    def params_dict(self) -> dict[str, Any]:
         """The parameter overrides as a plain dict."""
         return dict(self.params)
 
@@ -296,13 +285,13 @@ class GridSpec:
 
     def __init__(
         self,
-        base_config: Optional[SimulationConfig] = None,
+        base_config: SimulationConfig | None = None,
         protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
         scenarios: Sequence[Any] = ("baseline",),
         config_overrides: Sequence[Mapping[str, Any]] = ({},),
         seeds: Sequence[int] = (20090322,),
         max_queries: int = 200,
-        bucket_width: Optional[int] = None,
+        bucket_width: int | None = None,
     ) -> None:
         if max_queries < 1:
             raise ValueError(f"max_queries must be >= 1, got {max_queries}")
@@ -331,7 +320,7 @@ class GridSpec:
                 )
         self._check_axis_unique("protocol", self.protocols)
 
-        self.scenarios: Tuple[ScenarioSpec, ...] = tuple(
+        self.scenarios: tuple[ScenarioSpec, ...] = tuple(
             ScenarioSpec.coerce(entry) for entry in scenarios
         )
         for spec in self.scenarios:
@@ -345,7 +334,7 @@ class GridSpec:
             "scenario", tuple(spec.label for spec in self.scenarios)
         )
 
-        self.config_overrides: Tuple[Items, ...] = tuple(
+        self.config_overrides: tuple[Items, ...] = tuple(
             self._check_override(dict(overrides)) for overrides in config_overrides
         )
         self._check_axis_unique("config-override", self.config_overrides)
@@ -355,12 +344,12 @@ class GridSpec:
         self._check_axis_unique("seed", self.seeds)
 
     @staticmethod
-    def _check_axis_not_empty(axis: str, values: Tuple[Any, ...]) -> None:
+    def _check_axis_not_empty(axis: str, values: tuple[Any, ...]) -> None:
         if not values:
             raise ValueError(f"the {axis} axis is empty")
 
     @staticmethod
-    def _check_axis_unique(axis: str, values: Tuple[Any, ...]) -> None:
+    def _check_axis_unique(axis: str, values: tuple[Any, ...]) -> None:
         seen: set = set()
         duplicates = []
         for value in values:
@@ -373,7 +362,7 @@ class GridSpec:
                 f"duplicate cells: {duplicates!r}"
             )
 
-    def _check_override(self, overrides: Dict[str, Any]) -> Items:
+    def _check_override(self, overrides: dict[str, Any]) -> Items:
         known = set(self.base_config.to_dict())
         unknown = sorted(set(overrides) - known)
         if unknown:
@@ -403,7 +392,7 @@ class GridSpec:
             * len(self.seeds)
         )
 
-    def expand(self) -> List[GridCell]:
+    def expand(self) -> list[GridCell]:
         """The grid in its deterministic execution order."""
         return [
             GridCell(
@@ -435,7 +424,7 @@ class GridSpec:
         """The content-addressed store key of one cell."""
         return cell_key(self.cell_key_payload(cell))
 
-    def cell_key_payload(self, cell: GridCell) -> Dict[str, Any]:
+    def cell_key_payload(self, cell: GridCell) -> dict[str, Any]:
         """Everything that determines the cell's results, as a dict.
 
         Scenario parameters enter the payload *resolved* — explicit
@@ -464,7 +453,7 @@ class GridSpec:
             topology_fingerprint=configured.topology_fingerprint(),
         )
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """A JSON-able description (``from_dict`` restores it)."""
         return {
             "base_config": self.base_config.to_dict(),
@@ -480,7 +469,7 @@ class GridSpec:
         }
 
     @classmethod
-    def from_dict(cls, doc: Mapping[str, Any]) -> "GridSpec":
+    def from_dict(cls, doc: Mapping[str, Any]) -> GridSpec:
         """Rebuild a spec from :meth:`to_dict` output (e.g. a spec file)."""
         base = doc.get("base_config")
         return cls(
@@ -506,7 +495,7 @@ class GridReport:
     """
 
     spec: GridSpec
-    runs: Dict[GridCell, Any] = field(default_factory=dict)
+    runs: dict[GridCell, Any] = field(default_factory=dict)
     executed: int = 0
     cached: int = 0
     #: Stored documents that failed to parse, were quarantined by the
@@ -519,12 +508,12 @@ class GridReport:
         return self.spec.base_config
 
     @property
-    def protocols(self) -> Tuple[str, ...]:
+    def protocols(self) -> tuple[str, ...]:
         """The protocol axis."""
         return self.spec.protocols
 
     @property
-    def seeds(self) -> Tuple[int, ...]:
+    def seeds(self) -> tuple[int, ...]:
         """The seed axis."""
         return self.spec.seeds
 
@@ -544,12 +533,12 @@ class GridReport:
         return len(self.runs)
 
     @property
-    def scenarios(self) -> Tuple[str, ...]:
+    def scenarios(self) -> tuple[str, ...]:
         """Row labels, one per (scenario spec, config override)."""
         return tuple(self._rows)
 
     @cached_property
-    def _rows(self) -> "OrderedDict[str, Tuple[ScenarioSpec, Items]]":
+    def _rows(self) -> OrderedDict[str, tuple[ScenarioSpec, Items]]:
         # label → (scenario spec, overrides), built once: the spec is
         # immutable, and aggregate/render call run_for per cell.
         return OrderedDict(
@@ -573,7 +562,7 @@ class GridReport:
             )
         ]
 
-    def seed_runs(self, protocol: str, scenario: str) -> List[Any]:
+    def seed_runs(self, protocol: str, scenario: str) -> list[Any]:
         """One (row label, protocol) row: its runs across all seeds."""
         return [
             self.run_for(protocol, scenario, seed) for seed in self.spec.seeds
@@ -589,7 +578,7 @@ class GridReport:
 
 
 def _note(
-    progress: Optional[Callable[[str], None]],
+    progress: Callable[[str], None] | None,
     done: int,
     total: int,
     cell: GridCell,
@@ -602,8 +591,8 @@ def _note(
 
 
 def _run_cell(
-    task: Tuple[GridCell, SimulationConfig, int, int, bool]
-) -> Tuple[GridCell, Any]:
+    task: tuple[GridCell, SimulationConfig, int, int, bool]
+) -> tuple[GridCell, Any]:
     """Execute one grid cell (top-level so worker processes can pickle it)."""
     cell, base_config, max_queries, bucket_width, use_blueprints = task
     config = base_config
@@ -611,7 +600,7 @@ def _run_cell(
         config = config.replace(**dict(cell.overrides))
     config = config.replace(seed=cell.seed)
     scenario = cell.scenario.make()
-    blueprint: Optional[NetworkBlueprint] = None
+    blueprint: NetworkBlueprint | None = None
     if use_blueprints:
         # Key the cache by the *effective* configuration so scenarios
         # that do touch topology (e.g. cold-start's sparser shares)
@@ -659,7 +648,7 @@ class GridWorkerPool:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         methods = multiprocessing.get_all_start_methods()
-        self.start_method: Optional[str] = (
+        self.start_method: str | None = (
             "fork" if "fork" in methods else None
         )
         self.prebuilt = (
@@ -677,13 +666,13 @@ class GridWorkerPool:
 
     def imap(
         self,
-        tasks: Sequence[Tuple[GridCell, SimulationConfig, int, int, bool]],
+        tasks: Sequence[tuple[GridCell, SimulationConfig, int, int, bool]],
         chunksize: int = 1,
-    ) -> Iterator[Tuple[GridCell, Any]]:
+    ) -> Iterator[tuple[GridCell, Any]]:
         """Dispatch cell tasks, yielding ``(cell, run)`` as they finish."""
         return self._pool.imap(_run_cell, tasks, chunksize=chunksize)
 
-    def map(self, fn: Callable, items: Sequence[Any]) -> List[Any]:
+    def map(self, fn: Callable, items: Sequence[Any]) -> list[Any]:
         """Run an arbitrary picklable function across the workers."""
         return self._pool.map(fn, items)
 
@@ -699,7 +688,7 @@ class GridWorkerPool:
         if self.prebuilt:
             _BLUEPRINT_CACHE.restore_capacity()
 
-    def __enter__(self) -> "GridWorkerPool":
+    def __enter__(self) -> GridWorkerPool:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -708,7 +697,7 @@ class GridWorkerPool:
 
 def _capped_prebuild(
     spec: GridSpec, cells: Sequence[GridCell]
-) -> List[SimulationConfig]:
+) -> list[SimulationConfig]:
     """Up to one cache-capacity's worth of distinct build configs.
 
     Collected in dispatch order, so the common few-fingerprint grid
@@ -718,8 +707,8 @@ def _capped_prebuild(
     cap build lazily per worker, exactly as before the shared
     substrate existed.
     """
-    prebuild: List[SimulationConfig] = []
-    seen: Set[str] = set()
+    prebuild: list[SimulationConfig] = []
+    seen: set[str] = set()
     for cell in cells:
         config = spec.cell_build_config(cell)
         fingerprint = config.topology_fingerprint()
@@ -736,11 +725,11 @@ def execute_cells(
     cells: Sequence[GridCell],
     workers: int = 1,
     reuse_builds: bool = False,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Callable[[str], None] | None = None,
     progress_offset: int = 0,
-    progress_total: Optional[int] = None,
-    pool: Optional[GridWorkerPool] = None,
-) -> Iterator[Tuple[GridCell, Any]]:
+    progress_total: int | None = None,
+    pool: GridWorkerPool | None = None,
+) -> Iterator[tuple[GridCell, Any]]:
     """Execute ``cells`` and yield ``(cell, run)`` in completion order.
 
     The one sweep engine: every cell is an isolated, seed-deterministic
@@ -828,9 +817,9 @@ class _HeartbeatTicker:
         self._claims = claims
         self.interval_s = interval_s
         self._lock = threading.Lock()
-        self._held: Set[str] = set()
+        self._held: set[str] = set()
         self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
 
     def hold(self, key: str) -> None:
         """Start heartbeating ``key`` (the caller just claimed it)."""
@@ -926,13 +915,13 @@ class GridRunner:
         spec: GridSpec,
         workers: int = 1,
         reuse_builds: bool = False,
-        store: Optional[ResultStore] = None,
-        runner_id: Optional[str] = None,
+        store: ResultStore | None = None,
+        runner_id: str | None = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         poll_interval_s: float = 0.5,
-        heartbeat_interval_s: Optional[float] = None,
+        heartbeat_interval_s: float | None = None,
         clock: Callable[[], float] = time.time,
-        profile_dir: Optional[Union[str, Path]] = None,
+        profile_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -956,7 +945,7 @@ class GridRunner:
             if heartbeat_interval_s is not None
             else max(lease_ttl_s / 4.0, 0.05)
         )
-        self.claims: Optional[ClaimStore] = (
+        self.claims: ClaimStore | None = (
             ClaimStore(
                 store.root,
                 runner_id=runner_id,
@@ -973,12 +962,12 @@ class GridRunner:
         )
 
     @property
-    def runner_id(self) -> Optional[str]:
+    def runner_id(self) -> str | None:
         """This runner's claim identity (None when storeless)."""
         return self.claims.runner_id if self.claims is not None else None
 
     def run(
-        self, progress: Optional[Callable[[str], None]] = None
+        self, progress: Callable[[str], None] | None = None
     ) -> GridReport:
         """Execute every missing cell and assemble the full report."""
         cells = self.spec.expand()
@@ -1044,9 +1033,9 @@ class GridRunner:
 
     def _run_with_store(
         self,
-        cells: List[GridCell],
+        cells: list[GridCell],
         report: GridReport,
-        progress: Optional[Callable[[str], None]],
+        progress: Callable[[str], None] | None,
     ) -> GridReport:
         """The skip → claim → execute → commit → release loop.
 
@@ -1072,14 +1061,14 @@ class GridRunner:
         keys = {cell: cell_key(payload) for cell, payload in payloads.items()}
         batch_size = self._claim_batch_size()
         pending = list(cells)
-        pool: Optional[GridWorkerPool] = None
+        pool: GridWorkerPool | None = None
         ticker = _HeartbeatTicker(self.claims, self.heartbeat_interval_s)
         ticker.start()
         try:
             while pending:
                 resolved = 0
-                claimed: List[GridCell] = []
-                deferred: List[GridCell] = []
+                claimed: list[GridCell] = []
+                deferred: list[GridCell] = []
                 try:
                     for index, cell in enumerate(pending):
                         if len(claimed) >= batch_size:
@@ -1147,8 +1136,8 @@ class GridRunner:
         return 1 if self.workers == 1 else self.workers * 2
 
     def _ensure_pool(
-        self, pool: Optional[GridWorkerPool], claimed: List[GridCell]
-    ) -> Optional[GridWorkerPool]:
+        self, pool: GridWorkerPool | None, claimed: list[GridCell]
+    ) -> GridWorkerPool | None:
         """The persistent pool for claimed batches, forked on first use.
 
         Created lazily on the first batch that actually executes (a
@@ -1172,7 +1161,7 @@ class GridRunner:
         cell: GridCell,
         key: str,
         report: GridReport,
-        progress: Optional[Callable[[str], None]],
+        progress: Callable[[str], None] | None,
     ) -> bool:
         """Load ``cell`` from the store if present; True on success.
 
@@ -1213,7 +1202,7 @@ class GridRunner:
         self,
         key: str,
         report: GridReport,
-        progress: Optional[Callable[[str], None]],
+        progress: Callable[[str], None] | None,
     ) -> bool:
         """Quarantine a document that parsed but failed to restore."""
         quarantined_to = self.store.quarantine(key)
@@ -1232,12 +1221,12 @@ class GridRunner:
 
     def _execute_claimed(
         self,
-        claimed: List[GridCell],
-        payloads: Dict[GridCell, Dict[str, Any]],
-        keys: Dict[GridCell, str],
+        claimed: list[GridCell],
+        payloads: dict[GridCell, dict[str, Any]],
+        keys: dict[GridCell, str],
         report: GridReport,
-        progress: Optional[Callable[[str], None]],
-        pool: Optional[GridWorkerPool],
+        progress: Callable[[str], None] | None,
+        pool: GridWorkerPool | None,
         ticker: _HeartbeatTicker,
     ) -> int:
         """Execute the cells this runner holds claims on, commit each.
@@ -1257,7 +1246,7 @@ class GridRunner:
         batch nor a single long cell can go stale mid-flight.
         """
         held = {keys[cell] for cell in claimed}
-        committed: List[str] = []
+        committed: list[str] = []
         done = 0
         try:
             with self._profiled_batch():

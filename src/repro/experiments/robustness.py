@@ -19,8 +19,8 @@ Used by ``python -m repro seed-sweep`` and the claim-robustness test.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.comparison import check_paper_claims, relative_change
 from ..analysis.tables import format_percent, format_table
@@ -36,13 +36,13 @@ __all__ = ["SeedSweepResult", "run_seed_sweep"]
 class SeedSweepResult:
     """Claim pass-rates and headline spreads across seeds."""
 
-    seeds: List[int]
+    seeds: list[int]
     max_queries: int
-    claim_passes: Dict[str, int] = field(default_factory=dict)
-    traffic_reductions: List[float] = field(default_factory=list)
-    distance_reductions: List[float] = field(default_factory=list)
-    locaware_vs_dicas: List[float] = field(default_factory=list)
-    locaware_vs_dicas_keys: List[float] = field(default_factory=list)
+    claim_passes: dict[str, int] = field(default_factory=dict)
+    traffic_reductions: list[float] = field(default_factory=list)
+    distance_reductions: list[float] = field(default_factory=list)
+    locaware_vs_dicas: list[float] = field(default_factory=list)
+    locaware_vs_dicas_keys: list[float] = field(default_factory=list)
 
     @property
     def num_seeds(self) -> int:
@@ -89,7 +89,7 @@ class SeedSweepResult:
         return f"{header}\n\n{spreads}"
 
 
-def _spread_row(label: str, values: Sequence[float]) -> List[object]:
+def _spread_row(label: str, values: Sequence[float]) -> list[object]:
     clean = [v for v in values if not math.isnan(v)]
     if not clean:
         return [label, "n/a", "n/a", "n/a"]
@@ -103,10 +103,10 @@ def _spread_row(label: str, values: Sequence[float]) -> List[object]:
 
 def run_seed_sweep(
     seeds: Sequence[int],
-    base: Optional[SimulationConfig] = None,
+    base: SimulationConfig | None = None,
     max_queries: int = 1000,
-    bucket_width: Optional[int] = None,
-    progress: Optional[Callable[[str], None]] = None,
+    bucket_width: int | None = None,
+    progress: Callable[[str], None] | None = None,
     workers: int = 1,
 ) -> SeedSweepResult:
     """Run the four-way comparison per seed and tally the claim checks.
@@ -128,8 +128,8 @@ def run_seed_sweep(
         max_queries=max_queries,
         bucket_width=width,
     )
-    runs: Dict[Tuple[str, int], ProtocolRun] = {}
-    announced: Set[int] = set()
+    runs: dict[tuple[str, int], ProtocolRun] = {}
+    announced: set[int] = set()
     for cell, run in execute_cells(spec, spec.expand(), workers=workers,
                                    reuse_builds=True):
         if progress is not None and cell.seed not in announced:

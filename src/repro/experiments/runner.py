@@ -14,9 +14,9 @@ event queue alive forever.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 from ..analysis.collectors import (
     MetricSeries,
@@ -49,7 +49,7 @@ __all__ = [
 ]
 
 #: name → protocol class, in the paper's presentation order.
-PROTOCOL_REGISTRY: Dict[str, Type[SearchProtocol]] = {
+PROTOCOL_REGISTRY: dict[str, type[SearchProtocol]] = {
     "flooding": FloodingProtocol,
     "dicas": DicasProtocol,
     "dicas-keys": DicasKeysProtocol,
@@ -70,17 +70,17 @@ class ProtocolRun:
 
     protocol_name: str
     config: SimulationConfig
-    outcomes: List[QueryOutcome]
+    outcomes: list[QueryOutcome]
     summary: OutcomeSummary
     series: MetricSeries
     locally_satisfied: int
     sim_time_s: float
     events_processed: int
-    metric_snapshot: Dict[str, float]
-    scenario_name: Optional[str] = None
+    metric_snapshot: dict[str, float]
+    scenario_name: str | None = None
     """Registered scenario the run used, if any."""
 
-    telemetry: Optional[RunTelemetry] = None
+    telemetry: RunTelemetry | None = None
     """Operational sidecar (wall-clock phases, engine stats, counters).
 
     Never part of persisted documents or determinism fingerprints — two
@@ -96,26 +96,26 @@ class ComparisonResult:
 
     max_queries: int
     bucket_width: int
-    runs: Dict[str, ProtocolRun] = field(default_factory=dict)
+    runs: dict[str, ProtocolRun] = field(default_factory=dict)
 
-    scenario_name: Optional[str] = None
+    scenario_name: str | None = None
     """Registered scenario every run used, if any (claim checks target
     the baseline regime; a persisted scenario comparison must say so)."""
 
-    def bucket_edges(self) -> List[int]:
+    def bucket_edges(self) -> list[int]:
         """Common x-axis across protocols (longest run wins)."""
-        edges: List[int] = []
+        edges: list[int] = []
         for run in self.runs.values():
             candidate = run.series.bucket_edges()
             if len(candidate) > len(edges):
                 edges = candidate
         return edges
 
-    def summaries(self) -> Dict[str, OutcomeSummary]:
+    def summaries(self) -> dict[str, OutcomeSummary]:
         """Per-protocol whole-run aggregates, keyed by protocol name."""
         return {name: run.summary for name, run in self.runs.items()}
 
-    def series(self) -> Dict[str, MetricSeries]:
+    def series(self) -> dict[str, MetricSeries]:
         """Per-protocol figure series, keyed by protocol name."""
         return {name: run.series for name, run in self.runs.items()}
 
@@ -140,13 +140,13 @@ def run_protocol(
     protocol_name: str,
     max_queries: int,
     bucket_width: int,
-    tracer: Optional[Tracer] = None,
+    tracer: Tracer | None = None,
     location_aware_routing: bool = False,
-    popularity_shift_s: Optional[float] = None,
-    scenario: Union[Scenario, str, None] = None,
-    blueprint: Optional[NetworkBlueprint] = None,
-    trace_path: Optional[Union[str, Path]] = None,
-    trace_kinds: Optional[Sequence[str]] = None,
+    popularity_shift_s: float | None = None,
+    scenario: Scenario | str | None = None,
+    blueprint: NetworkBlueprint | None = None,
+    trace_path: str | Path | None = None,
+    trace_kinds: Sequence[str] | None = None,
     collect_telemetry: bool = True,
 ) -> ProtocolRun:
     """Run one protocol to completion and collect its metrics.
@@ -199,7 +199,7 @@ def run_protocol(
                 "declaration or the overrides"
             )
         config = configured
-    own_tracer: Optional[JsonlTracer] = None
+    own_tracer: JsonlTracer | None = None
     if trace_path is not None:
         own_tracer = JsonlTracer(
             trace_path, kinds=list(trace_kinds) if trace_kinds is not None else None
@@ -226,7 +226,7 @@ def run_protocol(
                 protocol_name, network, location_aware_routing=location_aware_routing
             )
             protocol.start()
-            churn: Optional[ChurnProcess] = None
+            churn: ChurnProcess | None = None
             if config.churn_enabled:
                 churn = ChurnProcess(
                     network,
@@ -315,8 +315,8 @@ def run_comparison(
     max_queries: int,
     bucket_width: int,
     protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
-    progress: Optional[Callable[[str], None]] = None,
-    scenario: Union[Scenario, str, None] = None,
+    progress: Callable[[str], None] | None = None,
+    scenario: Scenario | str | None = None,
     location_aware_routing: bool = False,
 ) -> ComparisonResult:
     """Run every requested protocol on the identical workload.

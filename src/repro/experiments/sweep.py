@@ -36,8 +36,8 @@ Usage::
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..scenarios import get_scenario
 from ..sim.config import SimulationConfig
@@ -73,12 +73,12 @@ class SweepReport:
     """Every cell's results plus the grid that produced them."""
 
     base_config: SimulationConfig
-    protocols: Tuple[str, ...]
-    scenarios: Tuple[str, ...]
-    seeds: Tuple[int, ...]
+    protocols: tuple[str, ...]
+    scenarios: tuple[str, ...]
+    seeds: tuple[int, ...]
     max_queries: int
     bucket_width: int
-    runs: Dict[SweepCell, ProtocolRun] = field(default_factory=dict)
+    runs: dict[SweepCell, ProtocolRun] = field(default_factory=dict)
 
     @property
     def num_cells(self) -> int:
@@ -89,7 +89,7 @@ class SweepReport:
         """The result of one cell."""
         return self.runs[SweepCell(protocol=protocol, scenario=scenario, seed=seed)]
 
-    def seed_runs(self, protocol: str, scenario: str) -> List[ProtocolRun]:
+    def seed_runs(self, protocol: str, scenario: str) -> list[ProtocolRun]:
         """One (protocol, scenario) row: its runs across all seeds."""
         return [self.run_for(protocol, scenario, seed) for seed in self.seeds]
 
@@ -137,12 +137,12 @@ class SweepRunner:
 
     def __init__(
         self,
-        base_config: Optional[SimulationConfig] = None,
+        base_config: SimulationConfig | None = None,
         protocols: Sequence[str] = DEFAULT_PROTOCOL_ORDER,
         scenarios: Sequence[str] = ("baseline",),
         seeds: Sequence[int] = (20090322,),
         max_queries: int = 200,
-        bucket_width: Optional[int] = None,
+        bucket_width: int | None = None,
         workers: int = 1,
         reuse_builds: bool = False,
     ) -> None:
@@ -193,7 +193,7 @@ class SweepRunner:
             bucket_width=self.bucket_width,
         )
 
-    def cells(self) -> List[SweepCell]:
+    def cells(self) -> list[SweepCell]:
         """The grid in its deterministic execution order."""
         return [
             SweepCell(protocol=protocol, scenario=scenario, seed=seed)
@@ -203,7 +203,7 @@ class SweepRunner:
         ]
 
     def run(
-        self, progress: Optional[Callable[[str], None]] = None
+        self, progress: Callable[[str], None] | None = None
     ) -> SweepReport:
         """Execute every cell and assemble the report.
 

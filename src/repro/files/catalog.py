@@ -18,8 +18,8 @@ about which files can possibly satisfy a query.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from .keywords import KeywordPool, join_keywords
 
@@ -32,7 +32,7 @@ class FileRecord:
 
     file_id: int
     filename: str
-    keywords: FrozenSet[str]
+    keywords: frozenset[str]
 
     def matches_keywords(self, query_keywords: Iterable[str]) -> bool:
         """Whether every query keyword appears in this filename (§3.1)."""
@@ -53,8 +53,8 @@ class FileCatalog:
             raise ValueError("a catalog needs at least one file")
         self._records = list(records)
         self._pool = pool
-        self._by_filename: Dict[str, FileRecord] = {}
-        self._inverted: Dict[str, Set[int]] = {}
+        self._by_filename: dict[str, FileRecord] = {}
+        self._inverted: dict[str, set[int]] = {}
         for record in self._records:
             if record.filename in self._by_filename:
                 raise ValueError(f"duplicate filename {record.filename!r} in catalog")
@@ -71,12 +71,12 @@ class FileCatalog:
         keywords_per_file: int,
         pool: KeywordPool,
         rng: random.Random,
-    ) -> "FileCatalog":
+    ) -> FileCatalog:
         """Generate the paper's file pool (distinct keyword combinations)."""
         if num_files < 1:
             raise ValueError(f"num_files must be >= 1, got {num_files}")
-        seen: Set[FrozenSet[str]] = set()
-        records: List[FileRecord] = []
+        seen: set[frozenset[str]] = set()
+        records: list[FileRecord] = []
         attempts_left = num_files * 100
         while len(records) < num_files:
             if attempts_left <= 0:
@@ -119,21 +119,21 @@ class FileCatalog:
         """Canonical filename string of ``file_id``."""
         return self._records[file_id].filename
 
-    def keywords(self, file_id: int) -> FrozenSet[str]:
+    def keywords(self, file_id: int) -> frozenset[str]:
         """Keyword set of ``file_id``."""
         return self._records[file_id].keywords
 
-    def by_filename(self, filename: str) -> Optional[FileRecord]:
+    def by_filename(self, filename: str) -> FileRecord | None:
         """The record with this exact filename, or ``None``."""
         return self._by_filename.get(filename)
 
-    def all_records(self) -> List[FileRecord]:
+    def all_records(self) -> list[FileRecord]:
         """A copy of every record, in file-id order."""
         return list(self._records)
 
     # -- matching -----------------------------------------------------------
 
-    def matching_files(self, query_keywords: Iterable[str]) -> Set[int]:
+    def matching_files(self, query_keywords: Iterable[str]) -> set[int]:
         """Ground truth: ids of every file satisfying the query.
 
         Intersects inverted-index posting lists, smallest first.
@@ -142,7 +142,7 @@ class FileCatalog:
         keyword_list = list(query_keywords)
         if not keyword_list:
             return set()
-        postings: List[Set[int]] = []
+        postings: list[set[int]] = []
         for kw in keyword_list:
             posting = self._inverted.get(kw)
             if not posting:

@@ -12,7 +12,7 @@ tokenisation is trivially invertible.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 __all__ = ["KeywordPool", "tokenize_filename", "join_keywords", "canonical_form"]
 
@@ -36,7 +36,7 @@ def join_keywords(keywords: Sequence[str]) -> str:
     return FILENAME_SEPARATOR.join(sorted(keywords))
 
 
-def tokenize_filename(filename: str) -> List[str]:
+def tokenize_filename(filename: str) -> list[str]:
     """Split a filename back into its keywords (the §3.1 predefined rule).
 
     >>> tokenize_filename('alpha-beta')
@@ -69,7 +69,7 @@ class KeywordPool:
             raise ValueError(f"keyword pool size must be >= 1, got {size}")
         self._size = size
         width = max(6, len(str(size - 1)))
-        self._keywords: List[str] = [f"kw{idx:0{width}d}" for idx in range(size)]
+        self._keywords: list[str] = [f"kw{idx:0{width}d}" for idx in range(size)]
 
     @property
     def size(self) -> int:
@@ -80,13 +80,13 @@ class KeywordPool:
         """The ``index``-th keyword."""
         return self._keywords[index]
 
-    def all_keywords(self) -> List[str]:
+    def all_keywords(self) -> list[str]:
         """A copy of the whole vocabulary."""
         return list(self._keywords)
 
     def sample_filename_keywords(
         self, count: int, rng: random.Random
-    ) -> Tuple[str, ...]:
+    ) -> tuple[str, ...]:
         """Draw ``count`` distinct keywords for a new filename."""
         if count > self._size:
             raise ValueError(

@@ -11,7 +11,7 @@ than to the store size.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from collections.abc import Iterable
 
 from .catalog import FileCatalog
 
@@ -23,15 +23,15 @@ class FileStore:
 
     def __init__(self, catalog: FileCatalog) -> None:
         self._catalog = catalog
-        self._files: Set[int] = set()
-        self._inverted: Dict[str, Set[int]] = {}
+        self._files: set[int] = set()
+        self._inverted: dict[str, set[int]] = {}
 
     @property
     def size(self) -> int:
         """Number of files currently shared."""
         return len(self._files)
 
-    def file_ids(self) -> Set[int]:
+    def file_ids(self) -> set[int]:
         """A copy of the shared file-id set."""
         return set(self._files)
 
@@ -70,12 +70,12 @@ class FileStore:
         self._files.clear()
         self._inverted.clear()
 
-    def matching_files(self, query_keywords: Iterable[str]) -> Set[int]:
+    def matching_files(self, query_keywords: Iterable[str]) -> set[int]:
         """Locally shared files satisfying the query (all keywords present)."""
         keyword_list = list(query_keywords)
         if not keyword_list:
             return set()
-        postings: List[Set[int]] = []
+        postings: list[set[int]] = []
         for kw in keyword_list:
             posting = self._inverted.get(kw)
             if not posting:
@@ -89,7 +89,7 @@ class FileStore:
                 break
         return result
 
-    def first_match(self, query_keywords: Iterable[str]) -> Optional[int]:
+    def first_match(self, query_keywords: Iterable[str]) -> int | None:
         """Any one locally shared file satisfying the query, or ``None``.
 
         Deterministic: returns the smallest matching file id.

@@ -1,0 +1,207 @@
+"""Configuration for ``repro lint``.
+
+The linter is project-aware: rules need to know which *layer* a file
+belongs to (``sim``, ``overlay``, ``results``, ...), which layers are
+*deterministic* (simulated time only — wall clocks and module-level
+RNG are forbidden there), and which imports each layer may draw on.
+Those facts live here as defaults mirroring the repository layout, and
+can be overridden from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    package = "src/repro"
+    deterministic-layers = ["sim", "overlay", ...]
+    select = ["RPR001", ...]          # only these codes
+    ignore = ["RPR005"]               # minus these
+
+    [tool.repro-lint.layers]
+    overlay = ["sim", "net", "files", "bloom"]
+    cli = ["*"]                       # "*" = may import anything
+
+    [tool.repro-lint.allow]
+    RPR001 = ["src/repro/sim/telemetry.py"]   # per-rule path allowlist
+
+Defaults are used for any key the table omits, so an empty (or absent)
+``[tool.repro-lint]`` section lints exactly the shipped policy.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["LintConfig", "DEFAULT_LAYER_ALLOWED", "DEFAULT_DETERMINISTIC_LAYERS"]
+
+# Layers whose code runs under the discrete-event clock: byte-identical
+# replay is the contract, so wall clocks (RPR001), module-level RNG
+# (RPR002), unguarded tracing (RPR003), and unordered set iteration
+# (RPR005) are all forbidden here.
+DEFAULT_DETERMINISTIC_LAYERS: tuple[str, ...] = (
+    "bloom",
+    "core",
+    "files",
+    "net",
+    "overlay",
+    "protocols",
+    "scenarios",
+    "sim",
+    "workload",
+)
+
+# The import DAG (RPR004): layer -> layers it may import, besides
+# itself and the stdlib.  "*" means unrestricted (the CLI boundary).
+# ``sim`` is the bottom — the simulator imports nothing above it, which
+# is what lets telemetry stay duck-typed and provably inert (PR 8) —
+# and ``results`` is storage policy that must never reach back into
+# the simulation.
+DEFAULT_LAYER_ALLOWED: dict[str, tuple[str, ...]] = {
+    "sim": (),
+    "files": (),
+    "net": (),
+    "bloom": (),
+    "results": (),
+    "lint": (),
+    "overlay": ("sim", "net", "files", "bloom"),
+    "protocols": ("overlay", "sim", "files"),
+    "core": ("protocols", "overlay", "bloom", "sim", "files"),
+    "workload": ("overlay", "sim"),
+    "scenarios": ("workload", "overlay", "sim"),
+    "analysis": ("protocols", "results", "sim"),
+    "experiments": (
+        "analysis",
+        "bloom",
+        "core",
+        "files",
+        "net",
+        "overlay",
+        "protocols",
+        "results",
+        "scenarios",
+        "sim",
+        "workload",
+    ),
+    "cli": ("*",),
+    "__init__": ("*",),
+    "__main__": ("*",),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration (defaults + pyproject overrides)."""
+
+    root: Path
+    package: str = "src/repro"
+    deterministic_layers: tuple[str, ...] = DEFAULT_DETERMINISTIC_LAYERS
+    layer_allowed: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYER_ALLOWED)
+    )
+    select: tuple[str, ...] | None = None
+    ignore: tuple[str, ...] = ()
+    allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        return tuple(PurePosixPath(self.package).parts)
+
+    @property
+    def package_name(self) -> str:
+        """The importable package name (last component of ``package``)."""
+        return self.package_parts[-1]
+
+    def relative_path(self, path: Path | str) -> str:
+        """``path`` as a root-relative posix string (as-is if outside)."""
+        resolved = Path(path)
+        if not resolved.is_absolute():
+            resolved = (self.root / resolved).resolve()
+        try:
+            return resolved.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def layer_of(self, relpath: str) -> str | None:
+        """The layer a root-relative file path belongs to, if any.
+
+        Files directly under the package root form single-module layers
+        named after the module (``cli.py`` -> layer ``cli``); files in
+        a subdirectory belong to the layer named by that directory.
+        Files outside the package root have no layer, so layer-scoped
+        rules skip them (tests and benchmarks import freely).
+        """
+        parts = PurePosixPath(relpath).parts
+        prefix = self.package_parts
+        if parts[: len(prefix)] != prefix or len(parts) <= len(prefix):
+            return None
+        remainder = parts[len(prefix) :]
+        if len(remainder) == 1:
+            return PurePosixPath(remainder[0]).stem
+        return remainder[0]
+
+    def module_parts(self, relpath: str) -> tuple[str, ...] | None:
+        """Dotted-module parts for a package file (None outside it)."""
+        parts = PurePosixPath(relpath).parts
+        prefix = self.package_parts
+        if parts[: len(prefix)] != prefix or len(parts) <= len(prefix):
+            return None
+        remainder = [PurePosixPath(part).stem for part in parts[len(prefix) :]]
+        if remainder and remainder[-1] == "__init__":
+            remainder.pop()
+        return (self.package_name, *remainder)
+
+    def allowed_imports(self, layer: str) -> tuple[str, ...] | None:
+        """Layers ``layer`` may import, or None if it is undeclared."""
+        return self.layer_allowed.get(layer)
+
+    def is_allowed_path(self, code: str, relpath: str) -> bool:
+        """True when ``relpath`` is allowlisted for rule ``code``."""
+        prefixes = self.allow.get(code, ())
+        return any(
+            relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+            for prefix in prefixes
+        )
+
+    @classmethod
+    def load(cls, start: Path | str | None = None) -> LintConfig:
+        """Find ``pyproject.toml`` upward from ``start`` and resolve.
+
+        Without a pyproject (or without a ``[tool.repro-lint]`` table)
+        the shipped defaults apply, rooted at ``start``.
+        """
+        base = Path(start) if start is not None else Path.cwd()
+        base = base.resolve()
+        if base.is_file():
+            base = base.parent
+        for candidate in (base, *base.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                with pyproject.open("rb") as handle:
+                    data = tomllib.load(handle)
+                table = data.get("tool", {}).get("repro-lint", {})
+                return cls.from_table(table, root=candidate)
+        return cls(root=base)
+
+    @classmethod
+    def from_table(cls, table: dict, root: Path) -> LintConfig:
+        """Build a config from a parsed ``[tool.repro-lint]`` table."""
+        layer_allowed = dict(DEFAULT_LAYER_ALLOWED)
+        for layer, allowed in table.get("layers", {}).items():
+            layer_allowed[str(layer)] = tuple(str(item) for item in allowed)
+        allow = {
+            str(code): tuple(str(path) for path in paths)
+            for code, paths in table.get("allow", {}).items()
+        }
+        select = table.get("select")
+        return cls(
+            root=root,
+            package=str(table.get("package", cls.package)),
+            deterministic_layers=tuple(
+                str(layer)
+                for layer in table.get(
+                    "deterministic-layers", DEFAULT_DETERMINISTIC_LAYERS
+                )
+            ),
+            layer_allowed=layer_allowed,
+            select=tuple(str(code) for code in select) if select else None,
+            ignore=tuple(str(code) for code in table.get("ignore", ())),
+            allow=allow,
+        )

@@ -1,0 +1,261 @@
+"""The ``repro lint`` engine: rule registry, suppressions, file runner.
+
+Rules are AST visitors registered by code (``RPR001``...); the engine
+parses each file once, decides which rules apply to it (most rules are
+scoped to layers — see :mod:`repro.lint.config`), collects findings,
+and filters out any a ``# repro-lint: skip`` comment suppresses.
+
+Suppression syntax::
+
+    network.tracer.emit(now, "x")        # repro-lint: skip RPR003
+    # repro-lint: skip RPR001, RPR002    <- standalone: next line
+    t = time.time()
+    y = time.monotonic()                 # repro-lint: skip
+
+A bare ``skip`` (no codes) suppresses every rule on that line.  For a
+multi-line statement the comment goes on the statement's first line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from .config import LintConfig
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "lint_source",
+    "lint_paths",
+    "collect_files",
+]
+
+#: Code used for files that fail to parse — not a registered rule, and
+#: deliberately not suppressible or deselectable.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at file:line with a fix hint."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed file, as rules see it."""
+
+    path: str  # root-relative posix path
+    layer: str | None
+    tree: ast.Module
+    source: str
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement :meth:`check`.
+
+    ``scope`` controls which files the rule sees:
+
+    - ``"deterministic"`` — files in a deterministic layer;
+    - ``"package"``       — any file under the package root;
+    - ``"all"``           — every linted file (tests included);
+    - a tuple of layer names — exactly those layers.
+    """
+
+    code: str = "RPR999"
+    name: str = "unnamed-rule"
+    summary: str = ""
+    scope: str | tuple[str, ...] = "deterministic"
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
+
+    def applies_to(self, module: Module, config: LintConfig) -> bool:
+        if config.is_allowed_path(self.code, module.path):
+            return False
+        if self.scope == "all":
+            return True
+        if self.scope == "package":
+            return module.layer is not None
+        if self.scope == "deterministic":
+            return module.layer in config.deterministic_layers
+        return module.layer in self.scope
+
+    def check(self, module: Module, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: Module, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=hint or self.summary,
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add one instance of ``cls`` to the registry."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*skip\b[ \t]*([A-Z0-9, \t]*)")
+_ALL_CODES = "ALL"
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> codes suppressed there (``ALL`` = every code)."""
+    suppressed: dict[int, set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {code for code in re.split(r"[,\s]+", match.group(1)) if code}
+        target = number + 1 if text.lstrip().startswith("#") else number
+        suppressed.setdefault(target, set()).update(codes or {_ALL_CODES})
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
+    codes = suppressed.get(finding.line)
+    if codes is None or finding.code == PARSE_ERROR_CODE:
+        return False
+    return _ALL_CODES in codes or finding.code in codes
+
+
+def _selected_rules(
+    config: LintConfig,
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[Rule]:
+    chosen = tuple(select) if select is not None else config.select
+    ignored = set(ignore) if ignore is not None else set(config.ignore)
+    unknown = [
+        code for code in (*(chosen or ()), *ignored) if code not in RULES
+    ]
+    if unknown:
+        known = ", ".join(sorted(RULES))
+        raise ValueError(
+            f"unknown rule code(s) {', '.join(sorted(set(unknown)))} "
+            f"(known: {known})"
+        )
+    return [
+        rule
+        for code, rule in sorted(RULES.items())
+        if (chosen is None or code in chosen) and code not in ignored
+    ]
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source under a (possibly virtual) path.
+
+    ``path`` decides the file's layer, so fixtures can exercise
+    layer-scoped rules by claiming a path inside the package.
+    """
+    relpath = config.relative_path(path)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        return [
+            Finding(
+                code=PARSE_ERROR_CODE,
+                path=relpath,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                message=f"file does not parse: {error.msg}",
+                hint="repro lint needs valid Python to check invariants",
+            )
+        ]
+    module = Module(
+        path=relpath, layer=config.layer_of(relpath), tree=tree, source=source
+    )
+    suppressed = _suppressions(source)
+    findings = [
+        finding
+        for rule in _selected_rules(config, select, ignore)
+        if rule.applies_to(module, config)
+        for finding in rule.check(module, config)
+        if not _is_suppressed(finding, suppressed)
+    ]
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def collect_files(paths: Iterable[Path | str], config: LintConfig) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: dict[Path, None] = {}
+    for given in paths:
+        path = Path(given)
+        if not path.is_absolute():
+            path = config.root / path
+        if path.is_dir():
+            for item in sorted(path.rglob("*.py")):
+                if "__pycache__" not in item.parts:
+                    seen.setdefault(item.resolve(), None)
+        elif path.is_file():
+            seen.setdefault(path.resolve(), None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {given}")
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    config: LintConfig,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files and directories; returns (findings, files checked)."""
+    files = collect_files(paths, config)
+    findings: list[Finding] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, str(file), config, select=select, ignore=ignore)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, len(files)

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 __all__ = ["Point", "random_points", "clustered_points", "max_pairwise_distance"]
 
@@ -30,11 +30,11 @@ class Point:
         if not (0.0 <= self.x <= 1.0 and 0.0 <= self.y <= 1.0):
             raise ValueError(f"Point must lie in the unit square, got ({self.x}, {self.y})")
 
-    def distance_to(self, other: "Point") -> float:
+    def distance_to(self, other: Point) -> float:
         """Euclidean distance to ``other``."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
-    def as_tuple(self) -> Tuple[float, float]:
+    def as_tuple(self) -> tuple[float, float]:
         """The point as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
 
@@ -43,7 +43,7 @@ class Point:
 UNIT_SQUARE_DIAMETER = math.sqrt(2.0)
 
 
-def random_points(count: int, rng: random.Random) -> List[Point]:
+def random_points(count: int, rng: random.Random) -> list[Point]:
     """Place ``count`` points uniformly at random in the unit square."""
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -55,7 +55,7 @@ def clustered_points(
     rng: random.Random,
     num_clusters: int = 8,
     spread: float = 0.08,
-) -> List[Point]:
+) -> list[Point]:
     """Place points around random cluster centres (an AS-like layout).
 
     Internet hosts are not uniformly spread — they clump into networks
@@ -72,7 +72,7 @@ def clustered_points(
     if spread < 0:
         raise ValueError(f"spread must be non-negative, got {spread}")
     centres = [(rng.random(), rng.random()) for _ in range(num_clusters)]
-    points: List[Point] = []
+    points: list[Point] = []
     for _ in range(count):
         cx, cy = centres[rng.randrange(num_clusters)]
         x = min(1.0, max(0.0, rng.gauss(cx, spread)))

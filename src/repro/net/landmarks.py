@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .coordinates import Point, random_points
 from .latency import LatencyModel
@@ -50,7 +50,7 @@ def permutation_to_locid(permutation: Sequence[int]) -> int:
     return rank
 
 
-def locid_to_permutation(locid: int, k: int) -> List[int]:
+def locid_to_permutation(locid: int, k: int) -> list[int]:
     """Inverse of :func:`permutation_to_locid` for ``k`` landmarks.
 
     >>> locid_to_permutation(5, 3)
@@ -61,7 +61,7 @@ def locid_to_permutation(locid: int, k: int) -> List[int]:
     if not (0 <= locid < math.factorial(k)):
         raise ValueError(f"locid {locid} out of range for {k} landmarks")
     remaining = list(range(k))
-    permutation: List[int] = []
+    permutation: list[int] = []
     for i in range(k):
         base = math.factorial(k - 1 - i)
         position, locid = divmod(locid, base)
@@ -69,7 +69,7 @@ def locid_to_permutation(locid: int, k: int) -> List[int]:
     return permutation
 
 
-def rtt_ordering(rtts: Sequence[float]) -> List[int]:
+def rtt_ordering(rtts: Sequence[float]) -> list[int]:
     """Landmark indices ordered by increasing RTT.
 
     Ties are broken by landmark index, which keeps the ordering
@@ -99,12 +99,12 @@ class LandmarkSet:
     @classmethod
     def place_random(
         cls, count: int, model: LatencyModel, rng: random.Random
-    ) -> "LandmarkSet":
+    ) -> LandmarkSet:
         """Drop ``count`` landmarks uniformly at random."""
         return cls(random_points(count, rng), model)
 
     @classmethod
-    def place_spread(cls, count: int, model: LatencyModel) -> "LandmarkSet":
+    def place_spread(cls, count: int, model: LatencyModel) -> LandmarkSet:
         """Place landmarks deterministically, maximally spread out.
 
         The first four go to the square's corners, the fifth to the
@@ -139,11 +139,11 @@ class LandmarkSet:
         return math.factorial(len(self._positions))
 
     @property
-    def positions(self) -> List[Point]:
+    def positions(self) -> list[Point]:
         """Copies of the landmark coordinates."""
         return list(self._positions)
 
-    def measure_rtts(self, peer_position: Point) -> List[float]:
+    def measure_rtts(self, peer_position: Point) -> list[float]:
         """A peer's RTT (ms) to each landmark, in landmark order."""
         return [self._model.rtt_ms(peer_position, lm) for lm in self._positions]
 
@@ -151,7 +151,7 @@ class LandmarkSet:
         """The locId a peer at ``peer_position`` computes on arrival."""
         return permutation_to_locid(rtt_ordering(self.measure_rtts(peer_position)))
 
-    def locid_with_rtts(self, peer_position: Point) -> Tuple[int, List[float]]:
+    def locid_with_rtts(self, peer_position: Point) -> tuple[int, list[float]]:
         """locId together with the raw RTT vector (for diagnostics)."""
         rtts = self.measure_rtts(peer_position)
         return permutation_to_locid(rtt_ordering(rtts)), rtts

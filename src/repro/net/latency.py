@@ -28,7 +28,7 @@ import heapq
 import math
 import random
 from array import array
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from .coordinates import UNIT_SQUARE_DIAMETER, Point
 
@@ -94,7 +94,7 @@ class EuclideanLatencyModel(LatencyModel):
         distance = a.distance_to(b)
         return self.min_latency_ms + self._span * (distance / UNIT_SQUARE_DIAMETER)
 
-    def bind(self, positions: Sequence[Point]) -> "PairLatency":
+    def bind(self, positions: Sequence[Point]) -> PairLatency:
         # Flat coordinate arrays kill the per-call Point attribute
         # chasing; the arithmetic is the exact scalar expression of
         # latency_ms (hypot + affine), so the floats are bit-identical.
@@ -164,8 +164,8 @@ class RouterLevelLatencyModel(LatencyModel):
 
     def _waxman_edges(
         self, rng: random.Random, alpha: float, beta: float
-    ) -> List[Tuple[int, int, float]]:
-        edges: List[Tuple[int, int, float]] = []
+    ) -> list[tuple[int, int, float]]:
+        edges: list[tuple[int, int, float]] = []
         n = len(self._routers)
         for i in range(n):
             for j in range(i + 1, n):
@@ -177,9 +177,9 @@ class RouterLevelLatencyModel(LatencyModel):
 
     @staticmethod
     def _build_adjacency(
-        n: int, edges: List[Tuple[int, int, float]]
-    ) -> List[List[Tuple[int, float]]]:
-        adjacency: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        n: int, edges: list[tuple[int, int, float]]
+    ) -> list[list[tuple[int, float]]]:
+        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         for i, j, d in edges:
             adjacency[i].append((j, d))
             adjacency[j].append((i, d))
@@ -204,7 +204,7 @@ class RouterLevelLatencyModel(LatencyModel):
             comp_id += 1
         while comp_id > 1:
             # Connect component 0 with the nearest router of any other component.
-            best: Optional[Tuple[float, int, int]] = None
+            best: tuple[float, int, int] | None = None
             for u in range(n):
                 if component[u] != 0:
                     continue
@@ -226,13 +226,13 @@ class RouterLevelLatencyModel(LatencyModel):
             component = [renumber[c] for c in component]
             comp_id = len(remaining)
 
-    def _all_pairs_shortest_paths(self) -> List[List[float]]:
+    def _all_pairs_shortest_paths(self) -> list[list[float]]:
         n = len(self._routers)
-        dist: List[List[float]] = []
+        dist: list[list[float]] = []
         for source in range(n):
             d = [math.inf] * n
             d[source] = 0.0
-            heap: List[Tuple[float, int]] = [(0.0, source)]
+            heap: list[tuple[float, int]] = [(0.0, source)]
             while heap:
                 du, u = heapq.heappop(heap)
                 if du > d[u]:
@@ -287,7 +287,7 @@ class RouterLevelLatencyModel(LatencyModel):
         backbone = self._dist[ra][rb]
         return self.min_latency_ms + 2.0 * self.last_mile_ms + backbone
 
-    def bind(self, positions: Sequence[Point]) -> "PairLatency":
+    def bind(self, positions: Sequence[Point]) -> PairLatency:
         # Peer -> nearest-router attachment is static, so pay the O(R)
         # scan once per peer here instead of twice per message; the
         # backbone table flattens to one float array indexed ra*R+rb.

@@ -17,7 +17,7 @@ returns, like a host keeping its physical location).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from .coordinates import Point, clustered_points, random_points
 from .landmarks import LandmarkSet
@@ -50,7 +50,7 @@ class Underlay:
         self._positions = list(positions)
         self._model = model
         self._landmarks = landmarks
-        self._locids: List[int] = [landmarks.locid_of(p) for p in self._positions]
+        self._locids: list[int] = [landmarks.locid_of(p) for p in self._positions]
         # Per-message hot path: a bound closure over precomputed state
         # (flat coordinates / router attachment + flat distance table)
         # instead of per-call scans.  Bit-identical to the scan path.
@@ -67,8 +67,8 @@ class Underlay:
         max_latency_ms: float = 500.0,
         num_landmarks: int = 4,
         clustered: bool = True,
-        model: Optional[LatencyModel] = None,
-    ) -> "Underlay":
+        model: LatencyModel | None = None,
+    ) -> Underlay:
         """Construct the paper's underlay.
 
         Peers are placed in the unit square (clustered by default — see
@@ -132,10 +132,10 @@ class Underlay:
         """Reference RTT via the model's per-call path."""
         return self._model.rtt_ms(self._positions[a], self._positions[b])
 
-    def locid_histogram(self) -> Dict[int, int]:
+    def locid_histogram(self) -> dict[int, int]:
         """How many peers share each locId (diagnostic for §5.1's
         landmark-count discussion)."""
-        histogram: Dict[int, int] = {}
+        histogram: dict[int, int] = {}
         for locid in self._locids:
             histogram[locid] = histogram.get(locid, 0) + 1
         return histogram

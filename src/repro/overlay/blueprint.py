@@ -40,8 +40,8 @@ sizes, churn) varying freely.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
 
 from ..files.catalog import FileCatalog
 from ..files.keywords import KeywordPool
@@ -83,17 +83,17 @@ class NetworkBlueprint:
     catalog: FileCatalog
     """The global file pool (immutable; shared)."""
 
-    gids: Tuple[int, ...]
+    gids: tuple[int, ...]
     """Per-peer Dicas group ids, indexed by peer id."""
 
-    initial_shares: Tuple[Tuple[int, ...], ...]
+    initial_shares: tuple[tuple[int, ...], ...]
     """Per-peer initial file endowments, indexed by peer id."""
 
     fingerprint: str
     """``config.topology_fingerprint()`` at build time (the cache key)."""
 
     @classmethod
-    def build(cls, config: SimulationConfig) -> "NetworkBlueprint":
+    def build(cls, config: SimulationConfig) -> NetworkBlueprint:
         """Construct the paper's immutable world from a configuration.
 
         Deterministic for a given ``config.seed``: underlay, overlay
@@ -157,8 +157,8 @@ class NetworkBlueprint:
 
     def instantiate(
         self,
-        config: Optional[SimulationConfig] = None,
-        tracer: Optional[Tracer] = None,
+        config: SimulationConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> P2PNetwork:
         """Stamp out a fresh, independent :class:`P2PNetwork`.
 
@@ -223,7 +223,7 @@ class BlueprintCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._default_capacity = capacity
         self.capacity = capacity
-        self._blueprints: "OrderedDict[str, NetworkBlueprint]" = OrderedDict()
+        self._blueprints: OrderedDict[str, NetworkBlueprint] = OrderedDict()
 
     def get(self, config: SimulationConfig) -> NetworkBlueprint:
         """The blueprint for ``config``, built at most once per process."""
@@ -246,7 +246,7 @@ class BlueprintCache:
         one :meth:`NetworkBlueprint.build` per distinct fingerprint
         not already cached.
         """
-        distinct: "OrderedDict[str, SimulationConfig]" = OrderedDict()
+        distinct: OrderedDict[str, SimulationConfig] = OrderedDict()
         for config in configs:
             distinct.setdefault(config.topology_fingerprint(), config)
         self.capacity = max(self.capacity, len(distinct))

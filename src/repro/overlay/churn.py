@@ -18,7 +18,7 @@ state does not.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from .network import P2PNetwork
 
@@ -34,8 +34,8 @@ class ChurnProcess:
         mean_session_s: float,
         mean_downtime_s: float,
         rng: random.Random,
-        on_leave: Optional[Callable[[int], None]] = None,
-        on_rejoin: Optional[Callable[[int], None]] = None,
+        on_leave: Callable[[int], None] | None = None,
+        on_rejoin: Callable[[int], None] | None = None,
     ) -> None:
         if mean_session_s <= 0 or mean_downtime_s <= 0:
             raise ValueError("session and downtime means must be positive")

@@ -38,7 +38,7 @@ from __future__ import annotations
 import random
 from array import array
 from bisect import bisect_left, insort
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 __all__ = ["OverlayGraph", "DictOverlayGraph"]
 
@@ -48,7 +48,7 @@ def _random_rows(
     mean_degree: float,
     rng: random.Random,
     connect_components: bool,
-) -> List[List[int]]:
+) -> list[list[int]]:
     """Shared G(n, M) construction: insertion-ordered adjacency rows.
 
     Both graph backends build from this helper so they consume the RNG
@@ -65,8 +65,8 @@ def _random_rows(
     target_edges = round(num_peers * mean_degree / 2.0)
     max_edges = num_peers * (num_peers - 1) // 2
     target_edges = min(target_edges, max_edges)
-    rows: List[List[int]] = [[] for _ in range(num_peers)]
-    membership: List[Set[int]] = [set() for _ in range(num_peers)]
+    rows: list[list[int]] = [[] for _ in range(num_peers)]
+    membership: list[set[int]] = [set() for _ in range(num_peers)]
 
     def add_edge(a: int, b: int) -> None:
         rows[a].append(b)
@@ -99,7 +99,7 @@ def _random_rows(
 
 
 def _connect_rows(
-    rows: List[List[int]], membership: List[Set[int]], rng: random.Random
+    rows: list[list[int]], membership: list[set[int]], rng: random.Random
 ) -> None:
     """Link every component into the giant one with one random edge."""
     components = _components_of_rows(rows)
@@ -116,9 +116,9 @@ def _connect_rows(
         membership[b].add(a)
 
 
-def _components_of_rows(rows: List[List[int]]) -> List[Set[int]]:
-    seen: Set[int] = set()
-    components: List[Set[int]] = []
+def _components_of_rows(rows: list[list[int]]) -> list[set[int]]:
+    seen: set[int] = set()
+    components: list[set[int]] = []
     for start in range(len(rows)):
         if start in seen:
             continue
@@ -162,9 +162,9 @@ class OverlayGraph:
             raise ValueError(f"num_peers must be non-negative, got {num_peers}")
         self._indptr = array(self._TYPECODE, bytes(8 * (num_peers + 1)))
         self._indices = array(self._TYPECODE)
-        self._mutated: Dict[int, array] = {}
+        self._mutated: dict[int, array] = {}
         self._present = bytearray(b"\x01" * num_peers)
-        self._present_sorted: Optional[List[int]] = None
+        self._present_sorted: list[int] | None = None
         self._num_present = num_peers
         self._num_edges = 0
 
@@ -177,7 +177,7 @@ class OverlayGraph:
         mean_degree: float,
         rng: random.Random,
         connect_components: bool = True,
-    ) -> "OverlayGraph":
+    ) -> OverlayGraph:
         """Build the paper's random overlay with the target mean degree."""
         rows = _random_rows(num_peers, mean_degree, rng, connect_components)
         graph = cls(num_peers)
@@ -197,7 +197,7 @@ class OverlayGraph:
         self._indices = indices
         self._num_edges = total // 2
 
-    def copy(self) -> "OverlayGraph":
+    def copy(self) -> OverlayGraph:
         """An independent deep copy of the current wiring.
 
         The overlay is mutated at run time (churn tears down and
@@ -251,11 +251,11 @@ class OverlayGraph:
         """Number of undirected edges."""
         return self._num_edges
 
-    def peers(self) -> List[int]:
+    def peers(self) -> list[int]:
         """All peer ids, sorted."""
         return list(self._sorted_present())
 
-    def _sorted_present(self) -> List[int]:
+    def _sorted_present(self) -> list[int]:
         """The (cached) ascending list of present peer ids.
 
         Maintained incrementally by :meth:`add_peer`/:meth:`remove_peer`
@@ -269,7 +269,7 @@ class OverlayGraph:
         """Whether ``peer_id`` is currently in the graph."""
         return 0 <= peer_id < len(self._present) and bool(self._present[peer_id])
 
-    def neighbors(self, peer_id: int) -> Set[int]:
+    def neighbors(self, peer_id: int) -> set[int]:
         """A copy of ``peer_id``'s neighbors as a set."""
         return set(self.neighbors_view(peer_id))
 
@@ -300,13 +300,13 @@ class OverlayGraph:
             return 0.0
         return 2.0 * self._num_edges / self._num_present
 
-    def highest_degree_neighbor(self, peer_id: int) -> Optional[int]:
+    def highest_degree_neighbor(self, peer_id: int) -> int | None:
         """The §4.2 'highly connected neighbor' fallback target.
 
         Ties break towards the smallest id for determinism.  ``None``
         when the peer has no neighbors.
         """
-        best: Optional[int] = None
+        best: int | None = None
         best_degree = -1
         for neighbor in sorted(self.neighbors_view(peer_id)):
             d = self.degree(neighbor)
@@ -315,10 +315,10 @@ class OverlayGraph:
                 best_degree = d
         return best
 
-    def components(self) -> List[Set[int]]:
+    def components(self) -> list[set[int]]:
         """Connected components as peer-id sets."""
-        seen: Set[int] = set()
-        components: List[Set[int]] = []
+        seen: set[int] = set()
+        components: list[set[int]] = []
         for start in self._sorted_present():
             if start in seen:
                 continue
@@ -341,7 +341,7 @@ class OverlayGraph:
 
     # -- mutation (churn) ----------------------------------------------------
 
-    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> List[int]:
+    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> list[int]:
         """(Re)join ``peer_id`` with ``num_links`` random neighbors (§3.1).
 
         Returns the chosen neighbor ids.  Joining an existing id is an
@@ -364,7 +364,7 @@ class OverlayGraph:
             self._add_edge(peer_id, neighbor)
         return chosen
 
-    def remove_peer(self, peer_id: int) -> Set[int]:
+    def remove_peer(self, peer_id: int) -> set[int]:
         """Remove ``peer_id`` and its links; returns its former neighbors."""
         if not self.contains(peer_id):
             raise KeyError(f"peer {peer_id} not in the overlay")
@@ -380,16 +380,16 @@ class OverlayGraph:
             del self._present_sorted[bisect_index(self._present_sorted, peer_id)]
         return set(row)
 
-    def degree_histogram(self) -> Dict[int, int]:
+    def degree_histogram(self) -> dict[int, int]:
         """Map degree -> number of peers with that degree."""
-        histogram: Dict[int, int] = {}
+        histogram: dict[int, int] = {}
         for pid in self._sorted_present():
             d = self.degree(pid)
             histogram[d] = histogram.get(d, 0) + 1
         return histogram
 
 
-def bisect_index(sorted_list: List[int], value: int) -> int:
+def bisect_index(sorted_list: list[int], value: int) -> int:
     """Index of ``value`` in a sorted list (the caller guarantees presence)."""
     index = bisect_left(sorted_list, value)
     if index >= len(sorted_list) or sorted_list[index] != value:
@@ -411,7 +411,7 @@ class DictOverlayGraph:
     def __init__(self, num_peers: int) -> None:
         if num_peers < 0:
             raise ValueError(f"num_peers must be non-negative, got {num_peers}")
-        self._adjacency: Dict[int, Dict[int, None]] = {
+        self._adjacency: dict[int, dict[int, None]] = {
             pid: {} for pid in range(num_peers)
         }
 
@@ -422,14 +422,14 @@ class DictOverlayGraph:
         mean_degree: float,
         rng: random.Random,
         connect_components: bool = True,
-    ) -> "DictOverlayGraph":
+    ) -> DictOverlayGraph:
         rows = _random_rows(num_peers, mean_degree, rng, connect_components)
         graph = cls(num_peers)
         for pid, row in enumerate(rows):
             graph._adjacency[pid] = dict.fromkeys(row)
         return graph
 
-    def copy(self) -> "DictOverlayGraph":
+    def copy(self) -> DictOverlayGraph:
         clone = DictOverlayGraph(0)
         clone._adjacency = {pid: dict(row) for pid, row in self._adjacency.items()}
         return clone
@@ -448,13 +448,13 @@ class DictOverlayGraph:
     def num_edges(self) -> int:
         return sum(len(row) for row in self._adjacency.values()) // 2
 
-    def peers(self) -> List[int]:
+    def peers(self) -> list[int]:
         return sorted(self._adjacency)
 
     def contains(self, peer_id: int) -> bool:
         return peer_id in self._adjacency
 
-    def neighbors(self, peer_id: int) -> Set[int]:
+    def neighbors(self, peer_id: int) -> set[int]:
         return set(self._adjacency[peer_id])
 
     def neighbors_view(self, peer_id: int) -> Sequence[int]:
@@ -468,8 +468,8 @@ class DictOverlayGraph:
             return 0.0
         return 2.0 * self.num_edges / len(self._adjacency)
 
-    def highest_degree_neighbor(self, peer_id: int) -> Optional[int]:
-        best: Optional[int] = None
+    def highest_degree_neighbor(self, peer_id: int) -> int | None:
+        best: int | None = None
         best_degree = -1
         for neighbor in sorted(self._adjacency[peer_id]):
             d = len(self._adjacency[neighbor])
@@ -478,9 +478,9 @@ class DictOverlayGraph:
                 best_degree = d
         return best
 
-    def components(self) -> List[Set[int]]:
-        seen: Set[int] = set()
-        components: List[Set[int]] = []
+    def components(self) -> list[set[int]]:
+        seen: set[int] = set()
+        components: list[set[int]] = []
         for start in sorted(self._adjacency):
             if start in seen:
                 continue
@@ -500,7 +500,7 @@ class DictOverlayGraph:
     def is_connected(self) -> bool:
         return len(self.components()) <= 1
 
-    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> List[int]:
+    def add_peer(self, peer_id: int, num_links: int, rng: random.Random) -> list[int]:
         if peer_id in self._adjacency:
             raise ValueError(f"peer {peer_id} already in the overlay")
         candidates = sorted(self._adjacency)
@@ -512,7 +512,7 @@ class DictOverlayGraph:
             self._add_edge(peer_id, neighbor)
         return chosen
 
-    def remove_peer(self, peer_id: int) -> Set[int]:
+    def remove_peer(self, peer_id: int) -> set[int]:
         row = self._adjacency.pop(peer_id, None)
         if row is None:
             raise KeyError(f"peer {peer_id} not in the overlay")
@@ -520,8 +520,8 @@ class DictOverlayGraph:
             self._adjacency[neighbor].pop(peer_id, None)
         return set(row)
 
-    def degree_histogram(self) -> Dict[int, int]:
-        histogram: Dict[int, int] = {}
+    def degree_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
         for row in self._adjacency.values():
             d = len(row)
             histogram[d] = histogram.get(d, 0) + 1

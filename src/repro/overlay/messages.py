@@ -19,7 +19,6 @@ and allocated by the protocol engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from ..bloom.delta import BloomDelta
 
@@ -36,7 +35,7 @@ class ProviderEntry:
     """
 
     peer_id: int
-    locid: Optional[int] = None
+    locid: int | None = None
 
 
 @dataclass(frozen=True)
@@ -67,12 +66,12 @@ class Query:
     query_id: int
     origin: int
     origin_locid: int
-    keywords: Tuple[str, ...]
+    keywords: tuple[str, ...]
     target_file: int
     ttl: int
-    path: Tuple[int, ...]
+    path: tuple[int, ...]
 
-    def forwarded(self, via: int) -> "Query":
+    def forwarded(self, via: int) -> Query:
         """The copy of this query that ``via`` forwards onward.
 
         Built directly rather than via ``dataclasses.replace`` — this
@@ -119,18 +118,18 @@ class QueryResponse:
     query_id: int
     origin: int
     origin_locid: int
-    keywords: Tuple[str, ...]
+    keywords: tuple[str, ...]
     file_id: int
     filename: str
-    providers: Tuple[ProviderEntry, ...]
+    providers: tuple[ProviderEntry, ...]
     responder: int
-    reverse_path: Tuple[int, ...]
+    reverse_path: tuple[int, ...]
 
-    def next_hop(self) -> Optional[int]:
+    def next_hop(self) -> int | None:
         """The next peer on the reverse path, or ``None`` if delivered."""
         return self.reverse_path[0] if self.reverse_path else None
 
-    def advanced(self) -> "QueryResponse":
+    def advanced(self) -> QueryResponse:
         """The copy of this response after one reverse-path hop."""
         return QueryResponse(
             self.query_id,

@@ -18,7 +18,7 @@ bandwidth is consumed regardless of whether the destination is up.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 from ..files.catalog import FileCatalog
 from ..net.underlay import Underlay
@@ -42,11 +42,11 @@ class P2PNetwork:
         sim: Simulator,
         underlay: Underlay,
         graph: OverlayGraph,
-        peers: List[Peer],
+        peers: list[Peer],
         catalog: FileCatalog,
         streams: RandomStreams,
-        metrics: Optional[MetricRegistry] = None,
-        tracer: Optional[Tracer] = None,
+        metrics: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config
         self.sim = sim
@@ -57,7 +57,7 @@ class P2PNetwork:
         self.streams = streams
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
-        self._per_query_messages: Dict[int, int] = {}
+        self._per_query_messages: dict[int, int] = {}
         # Struct-of-arrays liveness: the delivery check and the alive
         # census read flat flags instead of walking Peer objects.
         self.liveness = LivenessTable(len(peers))
@@ -77,8 +77,8 @@ class P2PNetwork:
     def build(
         cls,
         config: SimulationConfig,
-        tracer: Optional[Tracer] = None,
-    ) -> "P2PNetwork":
+        tracer: Tracer | None = None,
+    ) -> P2PNetwork:
         """Assemble the paper's system from a configuration.
 
         Deterministic for a given ``config.seed``: topology, landmark
@@ -100,7 +100,7 @@ class P2PNetwork:
         """The peer with the given id."""
         return self.peers[peer_id]
 
-    def alive_peer_ids(self) -> List[int]:
+    def alive_peer_ids(self) -> list[int]:
         """Ids of every currently-alive peer (ascending)."""
         return self.liveness.alive_ids()
 
@@ -112,7 +112,7 @@ class P2PNetwork:
         dst: int,
         handler: Callable[[int, object], None],
         payload: object,
-        query_id: Optional[int] = None,
+        query_id: int | None = None,
         kind: str = "message",
     ) -> None:
         """Ship ``payload`` from ``src`` to ``dst`` over the underlay.
@@ -163,15 +163,15 @@ class P2PNetwork:
     # -- probes ------------------------------------------------------------
 
     def rtt_probe_ms(
-        self, src: int, candidates: List[int], query_id: Optional[int] = None
-    ) -> Dict[int, float]:
+        self, src: int, candidates: list[int], query_id: int | None = None
+    ) -> dict[int, float]:
         """Measure RTT from ``src`` to each candidate (§5.1 adjustment:
         requestors probe advertised providers when no locId matches).
 
         Each probe costs one request + one reply message, charged to
         ``query_id``'s tally when given.
         """
-        results: Dict[int, float] = {}
+        results: dict[int, float] = {}
         for dst in candidates:
             self.metrics.counter("messages.rtt_probe").increment(2)
             self.metrics.counter("messages.total").increment(2)

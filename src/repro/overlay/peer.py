@@ -13,7 +13,7 @@ own namespace attribute.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from ..files.storage import FileStore
 
@@ -43,7 +43,7 @@ class LivenessTable:
             raise ValueError(f"num_peers must be non-negative, got {num_peers}")
         self.flags = bytearray(b"\x01" * num_peers)
         self._alive_count = num_peers
-        self._alive_ids: Optional[List[int]] = None
+        self._alive_ids: list[int] | None = None
 
     @property
     def num_peers(self) -> int:
@@ -67,7 +67,7 @@ class LivenessTable:
         """Number of alive peers — O(1)."""
         return self._alive_count
 
-    def alive_ids(self) -> List[int]:
+    def alive_ids(self) -> list[int]:
         """Ascending ids of alive peers (a fresh copy).
 
         Rebuilt only after a liveness change, so steady-state callers
@@ -97,7 +97,7 @@ class BoundedSet:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._items: "OrderedDict[Any, None]" = OrderedDict()
+        self._items: OrderedDict[Any, None] = OrderedDict()
 
     def add(self, item: Any) -> bool:
         """Insert ``item``; returns ``False`` if it was already present."""
@@ -168,9 +168,9 @@ class Peer:
         self.gid = gid
         self.store = store
         self._alive = True
-        self._liveness: Optional[LivenessTable] = None
+        self._liveness: LivenessTable | None = None
         self.seen_queries = BoundedSet(seen_capacity)
-        self.protocol_state: Dict[str, Any] = {}
+        self.protocol_state: dict[str, Any] = {}
 
     @property
     def alive(self) -> bool:

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..overlay.messages import ProviderEntry, Query, QueryResponse
 from ..overlay.network import P2PNetwork
@@ -46,15 +45,15 @@ class QueryOutcome:
     index: int
     origin: int
     target_file: int
-    keywords: Tuple[str, ...]
+    keywords: tuple[str, ...]
     issued_at: float
     success: bool
     download_distance_ms: float
     """Requestor↔provider RTT; ``nan`` for failed queries."""
     messages: int
     responses: int
-    provider: Optional[int]
-    downloaded_file: Optional[int]
+    provider: int | None
+    downloaded_file: int | None
 
 
 @dataclass
@@ -65,15 +64,15 @@ class QueryContext:
     index: int
     origin: int
     target_file: int
-    keywords: Tuple[str, ...]
+    keywords: tuple[str, ...]
     issued_at: float
-    responses: List[QueryResponse] = field(default_factory=list)
-    selection_handle: Optional[EventHandle] = None
+    responses: list[QueryResponse] = field(default_factory=list)
+    selection_handle: EventHandle | None = None
     satisfied: bool = False
     success: bool = False
     download_distance_ms: float = math.nan
-    provider: Optional[int] = None
-    downloaded_file: Optional[int] = None
+    provider: int | None = None
+    downloaded_file: int | None = None
 
 
 class SearchProtocol:
@@ -97,8 +96,8 @@ class SearchProtocol:
         self._index_lookups = network.metrics.counter("index.lookups")
         self._next_query_id = 0
         self._query_index = 0
-        self._contexts: Dict[int, QueryContext] = {}
-        self.outcomes: List[QueryOutcome] = []
+        self._contexts: dict[int, QueryContext] = {}
+        self.outcomes: list[QueryOutcome] = []
         self.local_satisfactions = 0
         for peer in network.peers:
             self.init_peer(peer)
@@ -117,11 +116,11 @@ class SearchProtocol:
         workload starts.  The default protocol needs none.
         """
 
-    def check_index(self, peer: Peer, query: Query) -> Optional[QueryResponse]:  # hook
+    def check_index(self, peer: Peer, query: Query) -> QueryResponse | None:  # hook
         """Try to answer ``query`` from the peer's response index."""
         return None
 
-    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:  # hook
+    def select_forward_targets(self, peer: Peer, query: Query) -> list[int]:  # hook
         """Neighbors to forward ``query`` to (duplicate/TTL handled here)."""
         raise NotImplementedError
 
@@ -130,7 +129,7 @@ class SearchProtocol:
 
     def select_provider(
         self, context: QueryContext
-    ) -> Optional[Tuple[QueryResponse, ProviderEntry]]:  # hook
+    ) -> tuple[QueryResponse, ProviderEntry] | None:  # hook
         """Pick the provider to download from.
 
         The default policy models a baseline user taking the first
@@ -148,8 +147,8 @@ class SearchProtocol:
     # ------------------------------------------------------------------
 
     def issue_query(
-        self, origin: int, file_id: int, keywords: Tuple[str, ...]
-    ) -> Optional[int]:
+        self, origin: int, file_id: int, keywords: tuple[str, ...]
+    ) -> int | None:
         """Submit a query at ``origin``; returns its id (``None`` if the
         origin could satisfy it from its own shared files).
 
@@ -457,7 +456,7 @@ class SearchProtocol:
         """Queries issued but not yet finalised."""
         return len(self._contexts)
 
-    def run_until_quiescent(self, settle_s: Optional[float] = None) -> None:
+    def run_until_quiescent(self, settle_s: float | None = None) -> None:
         """Drain the event queue (plus an optional settle margin)."""
         self.network.sim.run()
         if settle_s:

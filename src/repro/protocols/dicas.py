@@ -17,7 +17,6 @@ mismatch is what Fig 4 quantifies.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..overlay.messages import Query, QueryResponse
 from ..overlay.peer import Peer
@@ -53,7 +52,7 @@ class DicasProtocol(SearchProtocol):
         """The group Dicas guesses for a (possibly partial) keyword query."""
         return query_group_guess(query.keywords, self.config.group_count)
 
-    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:
+    def select_forward_targets(self, peer: Peer, query: Query) -> list[int]:
         """Gid-matching neighbors; else one highly connected neighbor."""
         group = self.query_group(query)
         last_hop = query.last_hop
@@ -66,7 +65,7 @@ class DicasProtocol(SearchProtocol):
             return matching
         return self._fallback_neighbors(peer, last_hop)
 
-    def _fallback_neighbors(self, peer: Peer, last_hop: int) -> List[int]:
+    def _fallback_neighbors(self, peer: Peer, last_hop: int) -> list[int]:
         """§4.2-style last resort: the best-connected other neighbors.
 
         Up to ``config.fallback_fanout`` of them, highest degree first
@@ -99,7 +98,7 @@ class DicasProtocol(SearchProtocol):
                 peer=peer.peer_id, filename=response.filename,
             )
 
-    def check_index(self, peer: Peer, query: Query) -> Optional[QueryResponse]:
+    def check_index(self, peer: Peer, query: Query) -> QueryResponse | None:
         hit = self.index_of(peer).lookup(query.keywords)
         if hit is None:
             return None

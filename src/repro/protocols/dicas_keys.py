@@ -22,7 +22,7 @@ Concretely:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from collections.abc import Sequence
 
 from ..overlay.messages import Query, QueryResponse
 from ..overlay.peer import Peer
@@ -37,7 +37,7 @@ class DicasKeysProtocol(DicasProtocol):
 
     name = "dicas-keys"
 
-    def _cache_groups(self, keywords: Sequence[str]) -> Set[int]:
+    def _cache_groups(self, keywords: Sequence[str]) -> set[int]:
         return keyword_groups(keywords, self.config.group_count)
 
     def _routing_group(self, keywords: Sequence[str]) -> int:
@@ -45,7 +45,7 @@ class DicasKeysProtocol(DicasProtocol):
         designated = min(keywords)
         return stable_hash(designated) % self.config.group_count
 
-    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:
+    def select_forward_targets(self, peer: Peer, query: Query) -> list[int]:
         """Neighbors matching the designated keyword's group; else fallback."""
         group = self._routing_group(query.keywords)
         last_hop = query.last_hop

@@ -10,7 +10,6 @@ maximal message cost (the 98% overhead Fig 3 charges it with).
 
 from __future__ import annotations
 
-from typing import List
 
 from ..overlay.messages import Query
 from ..overlay.peer import Peer
@@ -25,7 +24,7 @@ class FloodingProtocol(SearchProtocol):
     name = "flooding"
     forward_after_hit = True  # blind: answering does not stop propagation
 
-    def select_forward_targets(self, peer: Peer, query: Query) -> List[int]:
+    def select_forward_targets(self, peer: Peer, query: Query) -> list[int]:
         """All neighbors except the copy's sender."""
         last_hop = query.last_hop
         return [

@@ -16,8 +16,8 @@ keyword queries".
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable
 from functools import lru_cache
-from typing import Iterable, Set
 
 from ..files.keywords import canonical_form
 
@@ -53,7 +53,7 @@ def query_group_guess(query_keywords: Iterable[str], group_count: int) -> int:
     return file_group(canonical_form(list(query_keywords)), group_count)
 
 
-def keyword_groups(keywords: Iterable[str], group_count: int) -> Set[int]:
+def keyword_groups(keywords: Iterable[str], group_count: int) -> set[int]:
     """Dicas-Keys: the set of groups matching any individual keyword."""
     if group_count < 1:
         raise ValueError(f"group_count must be >= 1, got {group_count}")

@@ -14,7 +14,7 @@ common implementation).  Lookup matches any cached filename containing
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from ..files.keywords import tokenize_filename
 from ..overlay.messages import ProviderEntry
@@ -29,7 +29,7 @@ class PlainIndexCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._entries: "OrderedDict[str, ProviderEntry]" = OrderedDict()
+        self._entries: OrderedDict[str, ProviderEntry] = OrderedDict()
         self._keywords: dict[str, frozenset] = {}
 
     @property
@@ -42,11 +42,11 @@ class PlainIndexCache:
         """Number of cached filenames."""
         return len(self._entries)
 
-    def filenames(self) -> List[str]:
+    def filenames(self) -> list[str]:
         """Cached filenames, least-recently-updated first."""
         return list(self._entries)
 
-    def put(self, filename: str, provider: ProviderEntry) -> Optional[str]:
+    def put(self, filename: str, provider: ProviderEntry) -> str | None:
         """Cache/update ``filename``; returns an evicted filename or ``None``."""
         if filename in self._entries:
             self._entries[filename] = provider
@@ -60,7 +60,7 @@ class PlainIndexCache:
             return evicted
         return None
 
-    def get(self, filename: str) -> Optional[ProviderEntry]:
+    def get(self, filename: str) -> ProviderEntry | None:
         """The cached provider for an exact filename, or ``None``."""
         return self._entries.get(filename)
 
@@ -72,7 +72,7 @@ class PlainIndexCache:
         del self._keywords[filename]
         return True
 
-    def lookup(self, query_keywords: Iterable[str]) -> Optional[Tuple[str, ProviderEntry]]:
+    def lookup(self, query_keywords: Iterable[str]) -> tuple[str, ProviderEntry] | None:
         """Most recently refreshed cached filename matching all keywords."""
         wanted = set(query_keywords)
         if not wanted:

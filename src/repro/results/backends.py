@@ -47,19 +47,11 @@ import os
 import sqlite3
 import threading
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterator,
-    List,
-    Optional,
-    Tuple,
-    Union,
-)
+from typing import Any
 
 __all__ = [
     "BACKEND_NAMES",
@@ -106,7 +98,7 @@ class ClaimRecord:
     policy layer falls back to for judging a torn claim's staleness.
     """
 
-    fields: Optional[Dict[str, Any]]
+    fields: dict[str, Any] | None
     mtime: float
 
 
@@ -124,7 +116,7 @@ class StoreBackend:
     #: Short name used by the CLI (``--backend``) and diagnostics.
     name: str = "?"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
 
     # -- documents -----------------------------------------------------
@@ -132,7 +124,7 @@ class StoreBackend:
     def doc_has(self, key: str) -> bool:
         raise NotImplementedError
 
-    def doc_get_raw(self, key: str) -> Optional[str]:
+    def doc_get_raw(self, key: str) -> str | None:
         """The stored document text for ``key``, or None if absent.
 
         May raise :class:`UnicodeDecodeError` when the stored bytes do
@@ -147,7 +139,7 @@ class StoreBackend:
     def doc_delete(self, key: str) -> bool:
         raise NotImplementedError
 
-    def doc_quarantine(self, key: str) -> Union[Path, str, None]:
+    def doc_quarantine(self, key: str) -> Path | str | None:
         """Move the document for ``key`` out of the store's namespace.
 
         Returns where it went (a path or an opaque token), or None if
@@ -166,7 +158,7 @@ class StoreBackend:
 
     # -- sidecars ------------------------------------------------------
 
-    def sidecar_get_raw(self, key: str) -> Optional[str]:
+    def sidecar_get_raw(self, key: str) -> str | None:
         raise NotImplementedError
 
     def sidecar_put_raw(self, key: str, text: str) -> Path:
@@ -206,7 +198,7 @@ class StoreBackend:
         self,
         key: str,
         runner_id: str,
-        fields_factory: Callable[[], Dict[str, Any]],
+        fields_factory: Callable[[], dict[str, Any]],
         is_stale: Callable[[ClaimRecord], bool],
     ) -> bool:
         """Atomically take the claim on ``key``; True iff acquired.
@@ -217,11 +209,11 @@ class StoreBackend:
         """
         raise NotImplementedError
 
-    def claim_load(self, key: str) -> Optional[ClaimRecord]:
+    def claim_load(self, key: str) -> ClaimRecord | None:
         raise NotImplementedError
 
     def claim_heartbeat(
-        self, key: str, runner_id: str, fields: Dict[str, Any]
+        self, key: str, runner_id: str, fields: dict[str, Any]
     ) -> bool:
         """Re-stamp ``runner_id``'s claim on ``key``; False if lost."""
         raise NotImplementedError
@@ -229,7 +221,7 @@ class StoreBackend:
     def claim_release(self, key: str, runner_id: str) -> bool:
         raise NotImplementedError
 
-    def claim_list(self) -> Iterator[Tuple[str, ClaimRecord]]:
+    def claim_list(self) -> Iterator[tuple[str, ClaimRecord]]:
         """Every current claim as ``(key, record)``, sorted by key."""
         raise NotImplementedError
 
@@ -270,7 +262,7 @@ class JsonStoreBackend(StoreBackend):
     def doc_has(self, key: str) -> bool:
         return self.doc_path(key).is_file()
 
-    def doc_get_raw(self, key: str) -> Optional[str]:
+    def doc_get_raw(self, key: str) -> str | None:
         try:
             return self.doc_path(key).read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -288,7 +280,7 @@ class JsonStoreBackend(StoreBackend):
         except FileNotFoundError:
             return False
 
-    def doc_quarantine(self, key: str) -> Union[Path, None]:
+    def doc_quarantine(self, key: str) -> Path | None:
         path = self.doc_path(key)
         destination = path.with_name(f"{key}.json.corrupt")
         try:
@@ -311,7 +303,7 @@ class JsonStoreBackend(StoreBackend):
         check_key(key)
         return self.root / key[:2] / f"{key}{SIDECAR_SUFFIX}"
 
-    def sidecar_get_raw(self, key: str) -> Optional[str]:
+    def sidecar_get_raw(self, key: str) -> str | None:
         try:
             return self.sidecar_path(key).read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -368,7 +360,7 @@ class JsonStoreBackend(StoreBackend):
         self,
         key: str,
         runner_id: str,
-        fields_factory: Callable[[], Dict[str, Any]],
+        fields_factory: Callable[[], dict[str, Any]],
         is_stale: Callable[[ClaimRecord], bool],
     ) -> bool:
         path = self.claim_path(key)
@@ -384,7 +376,7 @@ class JsonStoreBackend(StoreBackend):
             return False
         return self._claim_steal(path, runner_id, fields_factory)
 
-    def claim_load(self, key: str) -> Optional[ClaimRecord]:
+    def claim_load(self, key: str) -> ClaimRecord | None:
         path = self.claim_path(key)
         try:
             raw = path.read_text(encoding="utf-8")
@@ -392,7 +384,7 @@ class JsonStoreBackend(StoreBackend):
             return None
         except OSError:
             return None
-        fields: Optional[Dict[str, Any]]
+        fields: dict[str, Any] | None
         try:
             decoded = json.loads(raw)
             fields = decoded if isinstance(decoded, dict) else None
@@ -410,7 +402,7 @@ class JsonStoreBackend(StoreBackend):
         return ClaimRecord(fields=fields, mtime=mtime)
 
     def claim_heartbeat(
-        self, key: str, runner_id: str, fields: Dict[str, Any]
+        self, key: str, runner_id: str, fields: dict[str, Any]
     ) -> bool:
         path = self.claim_path(key)
         temporary = self.claims_directory / f".{key}.{runner_id}.hb.tmp"
@@ -432,7 +424,7 @@ class JsonStoreBackend(StoreBackend):
             return False
         return True
 
-    def claim_list(self) -> Iterator[Tuple[str, ClaimRecord]]:
+    def claim_list(self) -> Iterator[tuple[str, ClaimRecord]]:
         if not self.claims_directory.is_dir():
             return
         for path in sorted(self.claims_directory.glob("*.claim")):
@@ -469,11 +461,13 @@ class JsonStoreBackend(StoreBackend):
         return removed
 
     @staticmethod
-    def _claim_payload(fields: Dict[str, Any]) -> str:
-        return json.dumps(fields, sort_keys=True) + "\n"
+    def _claim_payload(fields: dict[str, Any]) -> str:
+        # allow_nan=False is a no-op for the finite timestamps/TTLs a
+        # claim holds — it backstops the strict-JSON contract (RPR006).
+        return json.dumps(fields, sort_keys=True, allow_nan=False) + "\n"
 
     def _claim_create(
-        self, path: Path, fields_factory: Callable[[], Dict[str, Any]]
+        self, path: Path, fields_factory: Callable[[], dict[str, Any]]
     ) -> bool:
         """One exclusive-create attempt; True iff we made the file."""
         try:
@@ -488,7 +482,7 @@ class JsonStoreBackend(StoreBackend):
         self,
         path: Path,
         runner_id: str,
-        fields_factory: Callable[[], Dict[str, Any]],
+        fields_factory: Callable[[], dict[str, Any]],
     ) -> bool:
         """Reclaim a stale claim; True iff we now hold it.
 
@@ -575,18 +569,18 @@ class SqliteStoreBackend(StoreBackend):
 
     name = "sqlite"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: str | Path) -> None:
         super().__init__(root)
         self.db_path = self.root / SQLITE_DB_NAME
         self._lock = threading.RLock()
-        self._conn: Optional[sqlite3.Connection] = None
+        self._conn: sqlite3.Connection | None = None
         self._batch_depth = 0
-        self._buffered_docs: Dict[str, str] = {}
-        self._buffered_sidecars: Dict[str, str] = {}
+        self._buffered_docs: dict[str, str] = {}
+        self._buffered_sidecars: dict[str, str] = {}
 
     # -- connection management -----------------------------------------
 
-    def _connect(self, create: bool) -> Optional[sqlite3.Connection]:
+    def _connect(self, create: bool) -> sqlite3.Connection | None:
         """The store's connection; None for reads of an absent store."""
         with self._lock:
             if self._conn is not None:
@@ -646,8 +640,8 @@ class SqliteStoreBackend(StoreBackend):
                     ) from error
 
     def _read(
-        self, sql: str, parameters: Tuple[Any, ...] = ()
-    ) -> List[Tuple[Any, ...]]:
+        self, sql: str, parameters: tuple[Any, ...] = ()
+    ) -> list[tuple[Any, ...]]:
         """Run one read query; empty result if the store does not exist."""
         with self._lock:
             conn = self._connect(create=False)
@@ -679,7 +673,7 @@ class SqliteStoreBackend(StoreBackend):
         rows = self._read("SELECT 1 FROM documents WHERE key = ?", (key,))
         return bool(rows)
 
-    def doc_get_raw(self, key: str) -> Optional[str]:
+    def doc_get_raw(self, key: str) -> str | None:
         with self._lock:
             buffered = self._buffered_docs.get(key)
             if buffered is not None:
@@ -706,7 +700,7 @@ class SqliteStoreBackend(StoreBackend):
                 )
             return buffered or cursor.rowcount > 0
 
-    def doc_quarantine(self, key: str) -> Union[str, None]:
+    def doc_quarantine(self, key: str) -> str | None:
         with self._lock:
             body = self._buffered_docs.pop(key, None)
             conn = self._connect(create=False)
@@ -741,7 +735,7 @@ class SqliteStoreBackend(StoreBackend):
 
     # -- sidecars ------------------------------------------------------
 
-    def sidecar_get_raw(self, key: str) -> Optional[str]:
+    def sidecar_get_raw(self, key: str) -> str | None:
         with self._lock:
             buffered = self._buffered_sidecars.get(key)
             if buffered is not None:
@@ -807,19 +801,19 @@ class SqliteStoreBackend(StoreBackend):
     # -- claims --------------------------------------------------------
 
     @staticmethod
-    def _record(row: Tuple[Any, ...]) -> ClaimRecord:
+    def _record(row: tuple[Any, ...]) -> ClaimRecord:
         fields = dict(zip(_CLAIM_COLUMNS, row))
         return ClaimRecord(fields=fields, mtime=float(fields["heartbeat_at"]))
 
     @staticmethod
-    def _field_values(fields: Dict[str, Any]) -> Tuple[Any, ...]:
+    def _field_values(fields: dict[str, Any]) -> tuple[Any, ...]:
         return tuple(fields[column] for column in _CLAIM_COLUMNS)
 
     def claim_acquire(
         self,
         key: str,
         runner_id: str,
-        fields_factory: Callable[[], Dict[str, Any]],
+        fields_factory: Callable[[], dict[str, Any]],
         is_stale: Callable[[ClaimRecord], bool],
     ) -> bool:
         with self._lock:
@@ -853,7 +847,7 @@ class SqliteStoreBackend(StoreBackend):
                 )
                 return True
 
-    def claim_load(self, key: str) -> Optional[ClaimRecord]:
+    def claim_load(self, key: str) -> ClaimRecord | None:
         rows = self._read(
             "SELECT runner_id, claimed_at, heartbeat_at, lease_ttl_s, "
             "workers FROM claims WHERE key = ?",
@@ -862,7 +856,7 @@ class SqliteStoreBackend(StoreBackend):
         return self._record(rows[0]) if rows else None
 
     def claim_heartbeat(
-        self, key: str, runner_id: str, fields: Dict[str, Any]
+        self, key: str, runner_id: str, fields: dict[str, Any]
     ) -> bool:
         with self._lock:
             conn = self._connect(create=False)
@@ -896,7 +890,7 @@ class SqliteStoreBackend(StoreBackend):
                 )
             return cursor.rowcount == 1
 
-    def claim_list(self) -> Iterator[Tuple[str, ClaimRecord]]:
+    def claim_list(self) -> Iterator[tuple[str, ClaimRecord]]:
         rows = self._read(
             "SELECT key, runner_id, claimed_at, heartbeat_at, lease_ttl_s, "
             "workers FROM claims ORDER BY key"
@@ -929,8 +923,8 @@ class SqliteStoreBackend(StoreBackend):
 
 
 def resolve_backend(
-    root: Union[str, Path],
-    backend: Union[str, StoreBackend, None] = "auto",
+    root: str | Path,
+    backend: str | StoreBackend | None = "auto",
 ) -> StoreBackend:
     """Turn a backend choice into a backend instance for ``root``.
 

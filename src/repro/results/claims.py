@@ -55,9 +55,10 @@ import os
 import socket
 import time
 import uuid
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Optional, Union
+from typing import Any
 
 from .backends import ClaimRecord, StoreBackend, check_key, resolve_backend
 
@@ -142,12 +143,12 @@ class ClaimStore:
 
     def __init__(
         self,
-        root: Union[str, Path],
-        runner_id: Optional[str] = None,
+        root: str | Path,
+        runner_id: str | None = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         workers: int = 1,
         clock: Callable[[], float] = time.time,
-        backend: Union[str, StoreBackend, None] = "auto",
+        backend: str | StoreBackend | None = "auto",
     ) -> None:
         if lease_ttl_s < 0:
             raise ValueError(f"lease_ttl_s must be >= 0, got {lease_ttl_s}")
@@ -216,7 +217,7 @@ class ClaimStore:
 
     # -- observing claims ----------------------------------------------
 
-    def get(self, key: str) -> Optional[Claim]:
+    def get(self, key: str) -> Claim | None:
         """The current claim on ``key``, or None if unclaimed."""
         check_key(key)
         record = self.backend.claim_load(key)
@@ -247,7 +248,7 @@ class ClaimStore:
 
     # -- internals -----------------------------------------------------
 
-    def _fields(self, claimed_at: float) -> Dict[str, Any]:
+    def _fields(self, claimed_at: float) -> dict[str, Any]:
         return {
             "runner_id": self.runner_id,
             "claimed_at": claimed_at,
@@ -256,7 +257,7 @@ class ClaimStore:
             "workers": self.workers,
         }
 
-    def _fresh_fields(self) -> Dict[str, Any]:
+    def _fresh_fields(self) -> dict[str, Any]:
         now = self.clock()
         return {
             "runner_id": self.runner_id,

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -60,8 +61,8 @@ def cell_key_payload(
     scenario_params: Mapping[str, Any],
     max_queries: int,
     bucket_width: int,
-    topology_fingerprint: Optional[str] = None,
-) -> Dict[str, Any]:
+    topology_fingerprint: str | None = None,
+) -> dict[str, Any]:
     """The identity payload one grid cell hashes into its key.
 
     ``config`` is the *effective* configuration dict of the cell (base

@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import json
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Union
+from typing import Any
 
 from .backends import (
     SIDECAR_SUFFIX,
@@ -62,7 +63,7 @@ class CorruptResultError(RuntimeError):
     def __init__(
         self,
         key: str,
-        quarantined_to: Union[Path, str, None],
+        quarantined_to: Path | str | None,
         reason: str,
     ):
         self.key = key
@@ -93,8 +94,8 @@ class ResultStore:
 
     def __init__(
         self,
-        root: Union[str, Path],
-        backend: Union[str, StoreBackend, None] = "auto",
+        root: str | Path,
+        backend: str | StoreBackend | None = "auto",
     ) -> None:
         self.root = Path(root)
         self.backend = resolve_backend(self.root, backend)
@@ -117,7 +118,7 @@ class ResultStore:
         self._check_key(key)
         return self.backend.doc_has(key)
 
-    def get(self, key: str) -> Dict[str, Any]:
+    def get(self, key: str) -> dict[str, Any]:
         """Load the document stored under ``key``.
 
         Raises :class:`KeyError` if absent.  A document that exists
@@ -161,7 +162,7 @@ class ResultStore:
             raise KeyError(f"no result stored under key {key!r}")
         return raw
 
-    def quarantine(self, key: str) -> Union[Path, str, None]:
+    def quarantine(self, key: str) -> Path | str | None:
         """Move the document under ``key`` out of the store's namespace.
 
         Returns where it went (``<key>.json.corrupt`` for the json
@@ -185,7 +186,7 @@ class ResultStore:
         """
         return self.backend.clean_tmp(max_age_s, clock)
 
-    def put(self, key: str, document: Dict[str, Any]) -> Path:
+    def put(self, key: str, document: dict[str, Any]) -> Path:
         """Durably persist ``document`` under ``key``.
 
         The document is serialised first — strictly
@@ -237,7 +238,7 @@ class ResultStore:
         """Where the telemetry sidecar for ``key`` lives (file backends)."""
         return self.backend.sidecar_path(key)
 
-    def put_sidecar(self, key: str, document: Dict[str, Any]) -> Path:
+    def put_sidecar(self, key: str, document: dict[str, Any]) -> Path:
         """Durably persist a telemetry sidecar next to ``key``.
 
         Same atomicity and strict serialisation as :meth:`put`.  The
@@ -248,7 +249,7 @@ class ResultStore:
         encoded = json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
         return self.backend.sidecar_put_raw(key, encoded + "\n")
 
-    def get_sidecar(self, key: str) -> Union[Dict[str, Any], None]:
+    def get_sidecar(self, key: str) -> dict[str, Any] | None:
         """The telemetry sidecar for ``key``, or None.
 
         Sidecars are advisory: absent, unparseable, or non-object
@@ -268,7 +269,7 @@ class ResultStore:
             return None
         return document if isinstance(document, dict) else None
 
-    def get_sidecar_raw(self, key: str) -> Union[str, None]:
+    def get_sidecar_raw(self, key: str) -> str | None:
         """The stored sidecar text for ``key`` verbatim, or None."""
         self._check_key(key)
         try:

@@ -33,8 +33,9 @@ axis instead of only registered names.
 from __future__ import annotations
 
 import inspect
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar
+from typing import TypeVar
 
 from ..overlay.churn import ChurnProcess
 from ..overlay.network import P2PNetwork
@@ -55,12 +56,12 @@ __all__ = [
 ]
 
 #: Protocol-issue callback signature shared with the workload layer.
-IssueFn = Callable[[int, int, Tuple[str, ...]], None]
+IssueFn = Callable[[int, int, tuple[str, ...]], None]
 
 
 def expected_horizon_s(
-    config: SimulationConfig, max_queries: Optional[int]
-) -> Optional[float]:
+    config: SimulationConfig, max_queries: int | None
+) -> float | None:
     """Rough virtual duration of a run: ``max_queries`` arrivals at the
     nominal system rate (every peer alive).
 
@@ -82,7 +83,7 @@ class ScenarioContext:
     network: P2PNetwork
     protocol: object
     workload: QueryWorkload
-    churn: Optional[ChurnProcess] = None
+    churn: ChurnProcess | None = None
 
 
 class Scenario:
@@ -118,7 +119,7 @@ class Scenario:
         self,
         network: P2PNetwork,
         issue: IssueFn,
-        max_queries: Optional[int],
+        max_queries: int | None,
     ) -> QueryWorkload:
         """Build the scenario's query workload (default: plain Zipf)."""
         return QueryWorkload(network, issue, max_queries=max_queries)
@@ -136,12 +137,12 @@ class Scenario:
 
 
 #: name → registered scenario instance.
-SCENARIO_REGISTRY: Dict[str, Scenario] = {}
+SCENARIO_REGISTRY: dict[str, Scenario] = {}
 
 #: name → registered scenario class (the factory behind the instance).
-SCENARIO_CLASSES: Dict[str, Type[Scenario]] = {}
+SCENARIO_CLASSES: dict[str, type[Scenario]] = {}
 
-S = TypeVar("S", bound=Type[Scenario])
+S = TypeVar("S", bound=type[Scenario])
 
 
 def register_scenario(cls: S) -> S:
@@ -166,7 +167,7 @@ def get_scenario(name: str) -> Scenario:
         ) from None
 
 
-def scenario_parameters(name: str) -> List[str]:
+def scenario_parameters(name: str) -> list[str]:
     """The keyword parameters the scenario's constructor accepts, sorted.
 
     Empty for scenarios without a constructor of their own (e.g. the
@@ -209,6 +210,6 @@ def make_scenario(name: str, **params: object) -> Scenario:
     return SCENARIO_CLASSES[name](**params)
 
 
-def scenario_names() -> List[str]:
+def scenario_names() -> list[str]:
     """Registered scenario names, sorted."""
     return sorted(SCENARIO_REGISTRY)

@@ -19,7 +19,6 @@ touching the registry.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..sim.config import SimulationConfig
 from .base import (
@@ -61,7 +60,7 @@ class FlashCrowd(Scenario):
 
     def __init__(
         self,
-        spike_time_s: Optional[float] = None,
+        spike_time_s: float | None = None,
         spike_probability: float = 0.8,
     ) -> None:
         self.spike_time_s = spike_time_s
@@ -120,8 +119,8 @@ class ChurnStorm(Scenario):
         calm_downtime_s: float = 300.0,
         storm_session_s: float = 60.0,
         storm_downtime_s: float = 120.0,
-        storm_time_s: Optional[float] = None,
-        storm_duration_s: Optional[float] = None,
+        storm_time_s: float | None = None,
+        storm_duration_s: float | None = None,
     ) -> None:
         if storm_time_s is not None and storm_time_s < 0:
             raise ValueError(f"storm_time_s must be >= 0, got {storm_time_s}")
@@ -137,7 +136,7 @@ class ChurnStorm(Scenario):
         self.storm_duration_s = storm_duration_s
 
     def storm_window(
-        self, config: SimulationConfig, max_queries: Optional[int]
+        self, config: SimulationConfig, max_queries: int | None
     ) -> tuple:
         """The resolved (begin, end) of the storm for one run.
 
@@ -173,11 +172,13 @@ class ChurnStorm(Scenario):
 
         def storm_begins() -> None:
             churn.set_means(self.storm_session_s, self.storm_downtime_s)
-            ctx.network.tracer.emit(sim.now, "scenario.storm_begins")
+            if ctx.network.tracer.enabled:
+                ctx.network.tracer.emit(sim.now, "scenario.storm_begins")
 
         def storm_ends() -> None:
             churn.set_means(self.calm_session_s, self.calm_downtime_s)
-            ctx.network.tracer.emit(sim.now, "scenario.storm_ends")
+            if ctx.network.tracer.enabled:
+                ctx.network.tracer.emit(sim.now, "scenario.storm_ends")
 
         sim.schedule(begin, storm_begins)
         sim.schedule(end, storm_ends)
@@ -217,7 +218,7 @@ class Diurnal(Scenario):
     description = "sinusoidal query-rate modulation around the baseline"
 
     def __init__(
-        self, period_s: Optional[float] = None, amplitude: float = 0.6
+        self, period_s: float | None = None, amplitude: float = 0.6
     ) -> None:
         self.period_s = period_s
         self.amplitude = amplitude

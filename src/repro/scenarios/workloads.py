@@ -13,7 +13,6 @@ diverges.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
 
 from ..overlay.network import P2PNetwork
 from ..workload.generator import QueryWorkload
@@ -50,8 +49,8 @@ class FlashCrowdWorkload(QueryWorkload):
         self,
         network: P2PNetwork,
         issue: IssueFn,
-        max_queries: Optional[int] = None,
-        spike_time_s: Optional[float] = None,
+        max_queries: int | None = None,
+        spike_time_s: float | None = None,
         spike_probability: float = 0.8,
     ) -> None:
         if spike_time_s is not None and spike_time_s < 0:
@@ -103,7 +102,7 @@ class RegionalHotspotWorkload(QueryWorkload):
         self,
         network: P2PNetwork,
         issue: IssueFn,
-        max_queries: Optional[int] = None,
+        max_queries: int | None = None,
         hotspot_probability: float = 0.8,
         hot_set_size: int = 10,
     ) -> None:
@@ -123,7 +122,7 @@ class RegionalHotspotWorkload(QueryWorkload):
             histogram, key=lambda locid: (-histogram[locid], locid)
         )
         size = min(hot_set_size, network.config.num_files)
-        self.hot_files: Tuple[int, ...] = tuple(
+        self.hot_files: tuple[int, ...] = tuple(
             sorted(self._region_rng.sample(range(network.config.num_files), size))
         )
         self.hotspot_queries = 0
@@ -156,8 +155,8 @@ class DiurnalWorkload(QueryWorkload):
         self,
         network: P2PNetwork,
         issue: IssueFn,
-        max_queries: Optional[int] = None,
-        period_s: Optional[float] = None,
+        max_queries: int | None = None,
+        period_s: float | None = None,
         amplitude: float = 0.6,
     ) -> None:
         if period_s is not None and period_s <= 0:

@@ -23,7 +23,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any
 
 from .errors import ConfigurationError
 
@@ -260,7 +260,7 @@ class SimulationConfig:
         if not condition:
             raise ConfigurationError(message)
 
-    def replace(self, **changes: Any) -> "SimulationConfig":
+    def replace(self, **changes: Any) -> SimulationConfig:
         """Return a copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
 
@@ -279,17 +279,17 @@ class SimulationConfig:
         blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-dict view, handy for experiment records and reports."""
         return dataclasses.asdict(self)
 
     @classmethod
-    def paper_defaults(cls) -> "SimulationConfig":
+    def paper_defaults(cls) -> SimulationConfig:
         """The exact §5.1 configuration."""
         return cls()
 
     @classmethod
-    def small(cls, seed: int = 7) -> "SimulationConfig":
+    def small(cls, seed: int = 7) -> SimulationConfig:
         """A scaled-down configuration for tests and quick examples.
 
         Keeps every *ratio* of the paper setup (files per peer, keyword

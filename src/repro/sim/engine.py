@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from .errors import EventLoopError, SchedulingError
 
@@ -67,7 +68,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
+        self._queue: list[tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -128,7 +129,7 @@ class Simulator:
 
     # -- running ---------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain the event queue.
 
         Parameters
@@ -188,7 +189,7 @@ class Simulator:
             return True
         return False
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         """Timestamp of the next live event, or ``None`` if none pending."""
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
@@ -219,7 +220,7 @@ class PeriodicProcess:
         sim: Simulator,
         period: float,
         callback: Callable[[], None],
-        initial_delay: Optional[float] = None,
+        initial_delay: float | None = None,
     ) -> None:
         if period <= 0 or not math.isfinite(period):
             raise SchedulingError(f"period must be positive and finite, got {period!r}")

@@ -10,8 +10,8 @@ per-bucket means (e.g. mean download distance for queries 1–200,
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
 
 __all__ = ["Counter", "Summary", "BucketedSeries", "MetricRegistry"]
 
@@ -147,7 +147,7 @@ class BucketedSeries:
             raise ValueError(f"bucket_width must be positive, got {bucket_width}")
         self.name = name
         self.bucket_width = bucket_width
-        self._buckets: Dict[int, _Bucket] = {}
+        self._buckets: dict[int, _Bucket] = {}
         self._max_index = 0
 
     def record(self, index: int, value: float) -> None:
@@ -171,7 +171,7 @@ class BucketedSeries:
         """Total number of recorded samples."""
         return sum(b.count for b in self._buckets.values())
 
-    def bucket_edges(self) -> List[int]:
+    def bucket_edges(self) -> list[int]:
         """Upper edge of each bucket up to the largest recorded index.
 
         E.g. with ``bucket_width=200`` and samples up to index 950 this
@@ -182,22 +182,22 @@ class BucketedSeries:
         last_key = (self._max_index - 1) // self.bucket_width
         return [(k + 1) * self.bucket_width for k in range(last_key + 1)]
 
-    def windowed_means(self) -> List[float]:
+    def windowed_means(self) -> list[float]:
         """Per-bucket means, aligned with :meth:`bucket_edges`.
 
         Buckets with no samples yield ``nan``.
         """
         edges = self.bucket_edges()
-        out: List[float] = []
+        out: list[float] = []
         for k in range(len(edges)):
             bucket = self._buckets.get(k)
             out.append(bucket.mean() if bucket else math.nan)
         return out
 
-    def cumulative_means(self) -> List[float]:
+    def cumulative_means(self) -> list[float]:
         """Cumulative means up to each bucket edge."""
         edges = self.bucket_edges()
-        out: List[float] = []
+        out: list[float] = []
         total = 0.0
         count = 0
         for k in range(len(edges)):
@@ -227,9 +227,9 @@ class MetricRegistry:
     """A namespace of counters, summaries, and series for one simulation run."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._summaries: Dict[str, Summary] = {}
-        self._series: Dict[str, BucketedSeries] = {}
+        self._counters: dict[str, Counter] = {}
+        self._summaries: dict[str, Summary] = {}
+        self._series: dict[str, BucketedSeries] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter registered under ``name``."""
@@ -247,7 +247,7 @@ class MetricRegistry:
             self._summaries[name] = summary
         return summary
 
-    def series(self, name: str, bucket_width: Optional[int] = None) -> BucketedSeries:
+    def series(self, name: str, bucket_width: int | None = None) -> BucketedSeries:
         """Get or create the bucketed series registered under ``name``.
 
         ``bucket_width`` is required on first access and must not
@@ -266,19 +266,19 @@ class MetricRegistry:
             )
         return series
 
-    def counter_names(self) -> List[str]:
+    def counter_names(self) -> list[str]:
         """Sorted names of every registered counter."""
         return sorted(self._counters)
 
-    def summary_names(self) -> List[str]:
+    def summary_names(self) -> list[str]:
         """Sorted names of every registered summary."""
         return sorted(self._summaries)
 
-    def series_names(self) -> List[str]:
+    def series_names(self) -> list[str]:
         """Sorted names of every registered series."""
         return sorted(self._series)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> dict[str, float]:
         """Flat dict of every registered metric, for reports.
 
         Counters contribute their value; summaries their full statistics
@@ -286,7 +286,7 @@ class MetricRegistry:
         ``nan`` when undersampled); series their ``overall_mean`` and
         ``sample_count``.
         """
-        out: Dict[str, float] = {}
+        out: dict[str, float] = {}
         for name, counter in self._counters.items():
             out[f"counter.{name}"] = float(counter.value)
         for name, summary in self._summaries.items():

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, TypeVar
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
 
 T = TypeVar("T")
 
@@ -60,15 +61,15 @@ class RandomStreams:
     """
 
     def __init__(
-        self, master_seed: int, forbidden: Optional[Iterable[str]] = None
+        self, master_seed: int, forbidden: Iterable[str] | None = None
     ) -> None:
         if not isinstance(master_seed, int):
             raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
         self._master_seed = master_seed
-        self._forbidden: FrozenSet[str] = (
+        self._forbidden: frozenset[str] = (
             frozenset(forbidden) if forbidden is not None else frozenset()
         )
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: dict[str, random.Random] = {}
 
     @property
     def master_seed(self) -> int:
@@ -76,7 +77,7 @@ class RandomStreams:
         return self._master_seed
 
     @property
-    def forbidden(self) -> FrozenSet[str]:
+    def forbidden(self) -> frozenset[str]:
         """Stream names this factory refuses to create."""
         return self._forbidden
 
@@ -94,11 +95,11 @@ class RandomStreams:
         self._streams[name] = stream
         return stream
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Names of every stream created so far, in creation order."""
         return list(self._streams)
 
-    def spawn(self, name: str) -> "RandomStreams":
+    def spawn(self, name: str) -> RandomStreams:
         """Create a child factory whose master seed is derived from ``name``.
 
         Useful when a subsystem itself needs several sub-streams without
@@ -108,7 +109,7 @@ class RandomStreams:
 
     # -- convenience draws ------------------------------------------------
 
-    def shuffled(self, name: str, items: Iterable[T]) -> List[T]:
+    def shuffled(self, name: str, items: Iterable[T]) -> list[T]:
         """Return ``items`` as a new list, shuffled with the named stream."""
         out = list(items)
         self.stream(name).shuffle(out)

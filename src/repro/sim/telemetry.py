@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any
 
 __all__ = [
     "TELEMETRY_VERSION",
@@ -55,7 +56,7 @@ class PhaseTimers:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
-        self.durations_s: Dict[str, float] = {}
+        self.durations_s: dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -96,13 +97,13 @@ def sanitize_for_json(value: Any) -> Any:
 class RunTelemetry:
     """Operational sidecar for one finished run.  See the module docstring."""
 
-    phases_s: Dict[str, float] = field(default_factory=dict)
-    engine: Dict[str, Any] = field(default_factory=dict)
-    protocol: Dict[str, Any] = field(default_factory=dict)
-    tracing: Dict[str, Any] = field(default_factory=dict)
+    phases_s: dict[str, float] = field(default_factory=dict)
+    engine: dict[str, Any] = field(default_factory=dict)
+    protocol: dict[str, Any] = field(default_factory=dict)
+    tracing: dict[str, Any] = field(default_factory=dict)
     version: int = TELEMETRY_VERSION
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict (non-finite floats replaced with ``None``)."""
         return sanitize_for_json(
             {
@@ -119,7 +120,7 @@ def _ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else math.nan
 
 
-def _bloom_stats(network: Any, snapshot: Dict[str, float]) -> Dict[str, Any]:
+def _bloom_stats(network: Any, snapshot: dict[str, float]) -> dict[str, Any]:
     """Membership-test count plus a false-positive estimate.
 
     The estimate is the classic ``fill_fraction ** hashes`` per exported
@@ -137,7 +138,7 @@ def _bloom_stats(network: Any, snapshot: Dict[str, float]) -> Dict[str, Any]:
         fill = exported.fill_fraction()
         fills.append(fill)
         fp_estimates.append(fill**exported.hashes)
-    out: Dict[str, Any] = {
+    out: dict[str, Any] = {
         "membership_tests": int(snapshot.get("counter.bloom.membership_tests", 0)),
         "update_bits_mean": snapshot.get("summary.bloom.update_bits.mean", math.nan),
         "filters": len(fills),
@@ -151,7 +152,7 @@ def _bloom_stats(network: Any, snapshot: Dict[str, float]) -> Dict[str, Any]:
 def collect_run_telemetry(
     network: Any,
     phases: PhaseTimers,
-    tracer: Optional[Any] = None,
+    tracer: Any | None = None,
 ) -> RunTelemetry:
     """Assemble a :class:`RunTelemetry` from a finished run.
 

@@ -20,9 +20,10 @@ flag mid-run silences a tracer without detaching it.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any
 
 __all__ = [
     "TraceEvent",
@@ -40,7 +41,7 @@ class TraceEvent:
 
     time: float
     kind: str
-    payload: Dict[str, Any]
+    payload: dict[str, Any]
 
 
 class Tracer:
@@ -64,10 +65,10 @@ class NullTracer(Tracer):
 class RecordingTracer(Tracer):
     """Keeps every event in memory, with simple query helpers for tests."""
 
-    def __init__(self, kinds: Optional[List[str]] = None) -> None:
+    def __init__(self, kinds: list[str] | None = None) -> None:
         self._filter = set(kinds) if kinds is not None else None
         self.enabled = True
-        self.events: List[TraceEvent] = []
+        self.events: list[TraceEvent] = []
 
     def emit(self, time: float, kind: str, **payload: Any) -> None:
         if not self.enabled:
@@ -76,7 +77,7 @@ class RecordingTracer(Tracer):
             return
         self.events.append(TraceEvent(time, kind, payload))
 
-    def of_kind(self, kind: str) -> List[TraceEvent]:
+    def of_kind(self, kind: str) -> list[TraceEvent]:
         """Every recorded event with the given kind, in order."""
         return [e for e in self.events if e.kind == kind]
 
@@ -95,7 +96,7 @@ class PrintTracer(Tracer):
     def __init__(
         self,
         sink: Callable[[str], None] = print,
-        kinds: Optional[List[str]] = None,
+        kinds: list[str] | None = None,
     ) -> None:
         self._sink = sink
         self._filter = set(kinds) if kinds is not None else None
@@ -132,16 +133,16 @@ class JsonlTracer(Tracer):
 
     def __init__(
         self,
-        path: Union[str, Path],
-        kinds: Optional[List[str]] = None,
-        limit: Optional[int] = None,
+        path: str | Path,
+        kinds: list[str] | None = None,
+        limit: int | None = None,
     ) -> None:
         if limit is not None and limit < 0:
             raise ValueError(f"limit must be >= 0, got {limit}")
         self.path = Path(path)
         self._filter = set(kinds) if kinds is not None else None
         self._limit = limit
-        self._handle: Optional[Any] = self.path.open("w", encoding="utf-8")
+        self._handle: Any | None = self.path.open("w", encoding="utf-8")
         self.enabled = True
         self.events_written = 0
         self.events_dropped = 0
@@ -156,7 +157,7 @@ class JsonlTracer(Tracer):
         if self._limit is not None and self.events_written >= self._limit:
             self.events_dropped += 1
             return
-        record: Dict[str, Any] = {"t": time, "kind": kind}
+        record: dict[str, Any] = {"t": time, "kind": kind}
         for key, value in payload.items():
             if key not in record:
                 record[key] = value
@@ -169,7 +170,7 @@ class JsonlTracer(Tracer):
             self._handle.close()
             self._handle = None
 
-    def __enter__(self) -> "JsonlTracer":
+    def __enter__(self) -> JsonlTracer:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:

@@ -16,8 +16,8 @@ Locaware, which is what makes the paper's head-to-head comparison fair.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
 
 from ..overlay.network import P2PNetwork
 from .zipf import ZipfSampler
@@ -33,7 +33,7 @@ class QueryEvent:
     time: float
     origin: int
     file_id: int
-    keywords: Tuple[str, ...]
+    keywords: tuple[str, ...]
 
 
 class QueryWorkload:
@@ -54,8 +54,8 @@ class QueryWorkload:
     def __init__(
         self,
         network: P2PNetwork,
-        issue: Callable[[int, int, Tuple[str, ...]], None],
-        max_queries: Optional[int] = None,
+        issue: Callable[[int, int, tuple[str, ...]], None],
+        max_queries: int | None = None,
     ) -> None:
         self._network = network
         self._issue = issue
@@ -66,7 +66,7 @@ class QueryWorkload:
             config.num_files, config.zipf_exponent, network.streams.stream("zipf")
         )
         self._generated = 0
-        self.history: List[QueryEvent] = []
+        self.history: list[QueryEvent] = []
 
     @property
     def generated(self) -> int:
@@ -74,7 +74,7 @@ class QueryWorkload:
         return self._generated
 
     @property
-    def max_queries(self) -> Optional[int]:
+    def max_queries(self) -> int | None:
         """The generation bound (``None`` = unlimited)."""
         return self._max_queries
 
@@ -132,7 +132,7 @@ class QueryWorkload:
         """
         return self._sampler.sample()
 
-    def _pick_keywords(self, file_id: int) -> Tuple[str, ...]:
+    def _pick_keywords(self, file_id: int) -> tuple[str, ...]:
         """1–3 random keywords of the queried filename (§5.1)."""
         config = self._network.config
         all_keywords = sorted(self._network.catalog.keywords(file_id))

@@ -16,7 +16,7 @@ evaluate drift; this is a reproduction extension (bench
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from collections.abc import Callable
 
 from ..overlay.network import P2PNetwork
 from .generator import QueryWorkload
@@ -37,9 +37,9 @@ class ShiftingZipfWorkload(QueryWorkload):
     def __init__(
         self,
         network: P2PNetwork,
-        issue: Callable[[int, int, Tuple[str, ...]], None],
+        issue: Callable[[int, int, tuple[str, ...]], None],
         shift_interval_s: float,
-        max_queries: Optional[int] = None,
+        max_queries: int | None = None,
     ) -> None:
         if shift_interval_s <= 0:
             raise ValueError(
@@ -69,7 +69,9 @@ class ShiftingZipfWorkload(QueryWorkload):
         self.sampler.reshuffle(self._shift_rng)
         self.shifts += 1
         self._network.metrics.counter("workload.popularity_shifts").increment()
-        self._network.tracer.emit(
-            self._network.sim.now, "workload.shift", count=self.shifts
-        )
+        tracer = self._network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._network.sim.now, "workload.shift", count=self.shifts
+            )
         self._schedule_shift()

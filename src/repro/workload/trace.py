@@ -15,7 +15,8 @@ Traces serialise to a simple line-oriented text format:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, TextIO, Tuple
+from collections.abc import Callable, Iterable, Sequence
+from typing import TextIO
 
 from ..overlay.network import P2PNetwork
 from .generator import QueryEvent
@@ -35,9 +36,9 @@ def serialize_trace(events: Iterable[QueryEvent], out: TextIO) -> int:
     return count
 
 
-def parse_trace(source: TextIO) -> List[QueryEvent]:
+def parse_trace(source: TextIO) -> list[QueryEvent]:
     """Parse a trace written by :func:`serialize_trace`."""
-    events: List[QueryEvent] = []
+    events: list[QueryEvent] = []
     for line_number, line in enumerate(source, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -71,7 +72,7 @@ class TraceReplayer:
     def __init__(
         self,
         network: P2PNetwork,
-        issue: Callable[[int, int, Tuple[str, ...]], None],
+        issue: Callable[[int, int, tuple[str, ...]], None],
         events: Sequence[QueryEvent],
     ) -> None:
         self._network = network

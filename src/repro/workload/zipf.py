@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import List, Optional
 
 __all__ = ["ZipfSampler"]
 
@@ -46,7 +45,7 @@ class ZipfSampler:
         # rank r (1-based) gets weight 1 / r^s.
         weights = [1.0 / ((r + 1) ** exponent) for r in range(num_items)]
         total = sum(weights)
-        self._cdf: List[float] = []
+        self._cdf: list[float] = []
         acc = 0.0
         for w in weights:
             acc += w
@@ -74,7 +73,7 @@ class ZipfSampler:
             rank = self._num_items - 1
         return self._rank_to_item[rank]
 
-    def sample_many(self, count: int) -> List[int]:
+    def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` item ids."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
@@ -97,7 +96,7 @@ class ZipfSampler:
         lo = self._cdf[rank - 2] if rank >= 2 else 0.0
         return self._cdf[rank - 1] - lo
 
-    def reshuffle(self, rng: Optional[random.Random] = None) -> None:
+    def reshuffle(self, rng: random.Random | None = None) -> None:
         """Redraw the rank → item assignment (a popularity shift).
 
         The skew stays identical; *which* items are popular changes.

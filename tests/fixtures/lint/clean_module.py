@@ -1,0 +1,17 @@
+# lint-path: src/repro/sim/fixture_clean.py
+# Fixture corpus: a deterministic-layer module violating nothing —
+# the true-negative sweep (zero `# expect:` markers).
+import random
+
+
+def draw(rng: random.Random, items):
+    return rng.choice(sorted(set(items)))
+
+
+def trace_hit(network, qid):
+    if network.tracer.enabled:
+        network.tracer.emit(network.sim.now, "query.hit", qid=qid)
+
+
+def horizon(sim, deadline):
+    return sim.now < deadline

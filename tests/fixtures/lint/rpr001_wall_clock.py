@@ -1,0 +1,24 @@
+# lint-path: src/repro/sim/fixture_wall_clock.py
+# Fixture corpus: RPR001 (wall clocks in deterministic layers).
+# `# expect: CODE` marks each line the linter must flag — nothing else.
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp_now():
+    started = time.time()  # expect: RPR001
+    tick = time.monotonic()  # expect: RPR001
+    precise = pc()  # expect: RPR001
+    wall = datetime.now()  # expect: RPR001
+    time.sleep(0.1)  # expect: RPR001
+    return started, tick, precise, wall
+
+
+def injectable_clock_is_legal(clock=time.perf_counter):
+    # Referencing a clock (not calling it) is the injectable pattern.
+    return clock
+
+
+def simulated_time_is_legal(sim):
+    return sim.now

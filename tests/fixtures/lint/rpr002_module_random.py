@@ -1,0 +1,21 @@
+# lint-path: src/repro/overlay/fixture_module_random.py
+# Fixture corpus: RPR002 (module-level random.* in deterministic layers).
+import random
+from random import choice
+
+
+def sample_badly(items):
+    first = random.random()  # expect: RPR002
+    pick = random.choice(items)  # expect: RPR002
+    random.seed(7)  # expect: RPR002
+    loose = choice(items)  # expect: RPR002
+    return first, pick, loose
+
+
+def bound_generator_is_legal(seed):
+    rng = random.Random(seed)
+    return rng.random(), rng.choice([1, 2, 3])
+
+
+def annotations_are_legal(rng: random.Random) -> random.Random:
+    return rng

@@ -1,0 +1,22 @@
+# lint-path: src/repro/results/fixture_layering.py
+# Fixture corpus: RPR004 (import-layering DAG).  The virtual path puts
+# this file in the `results` layer, which may import nothing above it.
+from repro.sim.engine import Simulator  # expect: RPR004
+from repro.overlay import network  # expect: RPR004
+
+from ..sim import rng  # expect: RPR004
+
+import repro.protocols.base  # expect: RPR004
+
+from .keys import canonical_json  # same layer: legal
+
+import json  # stdlib: legal
+
+__all__ = [
+    "Simulator",
+    "network",
+    "rng",
+    "repro",
+    "canonical_json",
+    "json",
+]

@@ -1,0 +1,25 @@
+# lint-path: src/repro/core/fixture_set_iteration.py
+# Fixture corpus: RPR005 (iteration over bare set expressions).
+
+
+def hash_order_leaks(peers, extra, rng):
+    for peer in set(peers):  # expect: RPR005
+        peer.touch(rng.random())
+    for name in {"alpha", "beta"}:  # expect: RPR005
+        rng.random()
+    for item in frozenset(extra):  # expect: RPR005
+        item.visit()
+    counts = [x for x in {p.gid for p in peers}]  # expect: RPR005
+    return counts
+
+
+def sorted_views_are_legal(peers, rng):
+    for peer in sorted(set(peers)):
+        peer.touch(rng.random())
+    ordered = [x for x in sorted({p.gid for p in peers})]
+    return ordered
+
+
+def list_iteration_is_legal(items):
+    for item in list(items):
+        item.visit()

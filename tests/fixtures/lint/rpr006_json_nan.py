@@ -1,0 +1,24 @@
+# lint-path: src/repro/results/fixture_json_nan.py
+# Fixture corpus: RPR006 (json.dumps/json.dump without allow_nan=False
+# in the results/analysis boundary).
+import json
+
+
+def lax_encode(document):
+    return json.dumps(document, sort_keys=True)  # expect: RPR006
+
+
+def lax_write(document, handle):
+    json.dump(document, handle)  # expect: RPR006
+
+
+def explicitly_lax(document):
+    return json.dumps(document, allow_nan=True)  # expect: RPR006
+
+
+def strict_encode(document):
+    return json.dumps(document, sort_keys=True, allow_nan=False)
+
+
+def loading_is_legal(text):
+    return json.loads(text)

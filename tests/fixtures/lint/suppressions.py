@@ -1,0 +1,15 @@
+# lint-path: src/repro/sim/fixture_suppressions.py
+# Fixture corpus: every violation here is suppressed, so the expected
+# finding set is empty — this file proves suppression comments are
+# honored in all three spellings.
+import time
+import random
+
+
+def all_suppressed(items):
+    inline = time.time()  # repro-lint: skip RPR001
+    # repro-lint: skip RPR002
+    standalone = random.choice(items)
+    bare = time.monotonic()  # repro-lint: skip
+    several = random.random()  # repro-lint: skip RPR001, RPR002
+    return inline, standalone, bare, several

@@ -881,3 +881,114 @@ class TestGridBackendOption:
         assert code == 2
         assert "error:" in text
         assert "Traceback" not in text
+
+
+class TestLintCommand:
+    """The `repro lint` subcommand: exit codes, formats, explain."""
+
+    @staticmethod
+    def _project(tmp_path, source):
+        """A throwaway project with its own pyproject + one-layer package."""
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\n"
+            'package = "pkg"\n'
+            'deterministic-layers = ["alpha"]\n'
+            "[tool.repro-lint.layers]\n"
+            "alpha = []\n",
+            encoding="utf-8",
+        )
+        module = tmp_path / "pkg" / "alpha" / "mod.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(source, encoding="utf-8")
+        return module
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == []
+        assert args.format == "text"
+        assert args.select is None and args.ignore is None
+        assert args.explain is None
+
+    def test_clean_project_exits_zero(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg")
+        assert code == 0
+        assert "clean" in text
+
+    def test_findings_exit_nonzero(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "import time\n\nx = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg")
+        assert code == 1
+        assert "RPR001" in text
+        assert "mod.py:3" in text
+        assert "hint:" in text
+
+    def test_json_format(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "import time\n\nx = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg", "--format", "json")
+        assert code == 1
+        document = json.loads(text)
+        assert document["count"] == 1
+        assert document["findings"][0]["code"] == "RPR001"
+        assert document["findings"][0]["line"] == 3
+
+    def test_select_narrows_rules(self, tmp_path, monkeypatch):
+        self._project(
+            tmp_path, "import time\nimport random\n\n"
+            "x = time.time()\ny = random.random()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg", "--select", "RPR002")
+        assert code == 1
+        assert "RPR002" in text and "RPR001" not in text
+
+    def test_ignore_drops_rules(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "import time\n\nx = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg", "--ignore", "RPR001")
+        assert code == 0
+        assert "clean" in text
+
+    def test_unknown_code_is_usage_error(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "pkg", "--select", "RPR999")
+        assert code == 2
+        assert "unknown rule code" in text
+
+    def test_missing_path_is_usage_error(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli("lint", "no-such-dir")
+        assert code == 2
+        assert "error:" in text
+
+    def test_explain_prints_rationale(self):
+        code, text = run_cli("lint", "--explain", "RPR003")
+        assert code == 0
+        assert "RPR003" in text
+        assert "offending:" in text and "fixed:" in text
+
+    def test_explain_unknown_code(self):
+        code, text = run_cli("lint", "--explain", "RPR999")
+        assert code == 2
+        assert "unknown rule code" in text
+
+    def test_rules_catalog(self):
+        code, text = run_cli("lint", "--rules")
+        assert code == 0
+        for rule_code in ("RPR001", "RPR002", "RPR003",
+                          "RPR004", "RPR005", "RPR006"):
+            assert rule_code in text
+
+    def test_repo_self_lint_via_cli(self, monkeypatch):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parents[1])
+        code, text = run_cli("lint", "src", "tests", "benchmarks")
+        assert code == 0, text
+        assert "clean" in text

@@ -361,6 +361,48 @@ class TestTelemetryNeutrality:
         assert traced.telemetry is not None
         assert traced.telemetry.tracing["events_written"] > 0
 
+    def test_storm_scenario_emits_are_inert(self, tmp_path):
+        """The guarded scenario.storm_* emit sites change no bytes.
+
+        The churn-storm callbacks emit trace events mid-run; with the
+        guard in place a traced run must still fingerprint identically
+        to an untraced one, and the trace must actually contain the
+        storm events so the comparison exercises the guarded sites.
+        """
+        untraced = run_protocol(
+            _config(), "locaware", max_queries=40, bucket_width=20,
+            scenario="churn-storm", collect_telemetry=False,
+        )
+        trace = tmp_path / "storm.jsonl"
+        traced = run_protocol(
+            _config(), "locaware", max_queries=40, bucket_width=20,
+            scenario="churn-storm", trace_path=trace,
+        )
+        assert run_fingerprint(untraced) == run_fingerprint(traced)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        }
+        assert "scenario.storm_begins" in kinds
+
+    def test_workload_shift_emits_are_inert(self, tmp_path):
+        """The guarded workload.shift emit site changes no bytes."""
+        untraced = run_protocol(
+            _config(), "locaware", max_queries=40, bucket_width=20,
+            popularity_shift_s=5.0, collect_telemetry=False,
+        )
+        trace = tmp_path / "shift.jsonl"
+        traced = run_protocol(
+            _config(), "locaware", max_queries=40, bucket_width=20,
+            popularity_shift_s=5.0, trace_path=trace,
+        )
+        assert run_fingerprint(untraced) == run_fingerprint(traced)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        }
+        assert "workload.shift" in kinds
+
     def test_telemetry_never_enters_stored_documents(self):
         from repro.analysis.persistence import run_to_document
 
